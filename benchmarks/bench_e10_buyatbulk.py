@@ -1,0 +1,81 @@
+"""E10 — Theorem 10.2: expected ``O(log n)``-approximate buy-at-bulk.
+
+Paper claim: route on a sampled FRT tree, buy optimal cables per edge, map
+back — expected ``O(log n)``-approximation of the optimal design.
+
+Measured: mapped-back cost vs the fractional lower bound and vs the
+shortest-path-routing baseline, across demand counts and cable economies.
+Expected shape: ratio vs LB a modest constant times ``log n``; the tree
+solution's *aggregation* narrows the gap to the baseline as economies of
+scale steepen.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.buyatbulk import CableType, Demand, buy_at_bulk
+from repro.graph import generators as gen
+from repro.util.rng import as_rng
+
+FLAT = [CableType(1.0, 1.0)]
+ECONOMIES = [CableType(1.0, 1.0), CableType(16.0, 4.0), CableType(256.0, 16.0)]
+
+
+def _demands(n, count, seed):
+    g = as_rng(seed)
+    out = []
+    for _ in range(count):
+        s, t = g.choice(n, size=2, replace=False)
+        out.append(Demand(int(s), int(t), float(g.integers(1, 8))))
+    return out
+
+
+@pytest.mark.parametrize("count", [8, 32, 64])
+def test_e10_ratio_vs_lower_bound(benchmark, count):
+    g = gen.random_graph(64, 160, rng=100)
+    demands = _demands(64, count, 101)
+
+    def run():
+        costs = [
+            buy_at_bulk(g, demands, ECONOMIES, rng=s).graph_cost for s in range(4)
+        ]
+        base = buy_at_bulk(g, demands, ECONOMIES, rng=0)
+        return float(np.mean(costs)), base
+
+    mean_cost, base = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio_lb = mean_cost / base.lower_bound
+    ratio_base = mean_cost / base.baseline_cost
+    benchmark.extra_info.update(
+        demands=count,
+        mean_graph_cost=mean_cost,
+        lower_bound=base.lower_bound,
+        ratio_vs_lb=ratio_lb,
+        ratio_vs_baseline=ratio_base,
+    )
+    assert ratio_lb <= 6 * np.log2(g.n)  # O(log n) with small constant
+    assert ratio_base <= 2 * np.log2(g.n)
+
+
+def test_e10_economies_of_scale_help_aggregation(benchmark):
+    """With steep discounts, the FRT tree's shared upstream edges narrow
+    the gap vs independent shortest-path routing."""
+    g = gen.grid(8, 8, rng=102)
+    demands = [Demand(v, 0, 1.0) for v in range(1, g.n)]
+
+    def run():
+        flat_ratios, econ_ratios = [], []
+        for s in range(4):
+            r_flat = buy_at_bulk(g, demands, FLAT, rng=s)
+            r_econ = buy_at_bulk(g, demands, ECONOMIES, rng=s)
+            flat_ratios.append(r_flat.ratio_vs_baseline)
+            econ_ratios.append(r_econ.ratio_vs_baseline)
+        return float(np.mean(flat_ratios)), float(np.mean(econ_ratios))
+
+    flat_ratio, econ_ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        flat_ratio_vs_baseline=flat_ratio, econ_ratio_vs_baseline=econ_ratio
+    )
+    # With flat (linear) costs the baseline (shortest paths) is optimal and
+    # the tree detours cost the full stretch; with economies of scale the
+    # tree's aggregation buys some of that back.
+    assert econ_ratio <= flat_ratio + 0.5

@@ -1,0 +1,69 @@
+"""E11 — Footnote 2: the Ω(m)-work lower-bound instance.
+
+Paper claim: on the two-cluster instance (heavy connectors, one secretly
+lightened with probability 1/2), any algorithm approximating the cross-cut
+distance better than factor ``W/n`` must examine Ω(m) edges in
+expectation — an edge-sampling algorithm examining a ``q``-fraction of
+edges detects the light connector with probability ≈ ``q``.
+
+Measured: empirical detection probability of inspecting ``q·m`` random
+edges vs ``q`` (must be ≈ linear — no shortcut exists), plus the
+generator's cost.  This grounds the claim that near-linear work for tree
+embeddings is optimal up to polylog factors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+
+
+@pytest.mark.parametrize("q", [0.1, 0.3, 0.6])
+def test_e11_detection_probability_linear_in_q(benchmark, q):
+    n, m = 64, 400
+    trials = 300
+
+    def run():
+        rng = np.random.default_rng(110)
+        hits = 0
+        with_light = 0
+        for _ in range(trials):
+            g, light = gen.lower_bound_instance(n, m, rng=rng)
+            if light is None:
+                continue
+            with_light += 1
+            sample = rng.choice(g.m, size=int(q * g.m), replace=False)
+            if light in sample:
+                hits += 1
+        return hits / max(with_light, 1)
+
+    p_detect = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(q=q, detection_probability=float(p_detect))
+    # Sampling without replacement: detection probability is exactly q in
+    # expectation; allow Monte-Carlo slack.
+    assert abs(p_detect - q) <= 0.12
+
+
+def test_e11_distance_gap(benchmark):
+    """The light edge changes the cross-cut distance by ~W/n — detecting it
+    is necessary for any better-than-W/n approximation."""
+    from repro.graph.shortest_paths import dijkstra_distances
+
+    def run():
+        gaps = []
+        rng = np.random.default_rng(111)
+        for _ in range(20):
+            g, light = gen.lower_bound_instance(32, 120, rng=rng)
+            d = dijkstra_distances(g, [0])[0][g.n - 1]
+            gaps.append((light is not None, d))
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    with_light = [d for has, d in gaps if has]
+    without = [d for has, d in gaps if not has]
+    benchmark.extra_info.update(
+        mean_with_light=float(np.mean(with_light)),
+        mean_without=float(np.mean(without)),
+        gap_factor=float(np.mean(without) / np.mean(with_light)),
+    )
+    assert np.mean(without) > 10 * np.mean(with_light)

@@ -1,0 +1,63 @@
+"""E1 — Observation 1.1: approximate hop sets break the triangle inequality.
+
+Paper claim: if the ``d``-hop distances of a hop-set-augmented graph form a
+metric, they are exact; hence any genuinely approximate hop set must
+exhibit triangle-inequality violations in ``dist^d`` — the obstacle that
+the simulated graph ``H`` exists to repair.
+
+Measured: number of violating triples for the exact hub hop set (must be
+0) vs. the rounded hop set (must be > 0), across sizes; plus construction
+time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.shortest_paths import hop_limited_distances
+from repro.hopsets import (
+    count_triangle_violations,
+    hub_hopset,
+    rounded_hopset,
+    verify_hopset,
+)
+
+
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_e1_exact_hopset_is_metric(benchmark, n):
+    g = gen.cycle(n, wmin=1, wmax=2, rng=1)
+
+    def build():
+        return hub_hopset(g, rng=2)
+
+    hop = benchmark.pedantic(build, rounds=1, iterations=1)
+    rep = verify_hopset(hop, g, sample_sources=32, rng=3)
+    Dd = hop_limited_distances(hop.graph, hop.d)
+    violations = count_triangle_violations(Dd)
+    benchmark.extra_info.update(
+        n=n, d=hop.d, extra_edges=hop.extra_edges,
+        max_ratio=rep.max_ratio, violations=violations,
+    )
+    assert rep.ok
+    assert violations == 0  # exact ⇒ metric (Observation 1.1 forward)
+
+
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_e1_rounded_hopset_violates(benchmark, n):
+    # Small d0 (many short shortcut segments) is the regime where rounding
+    # visibly breaks the triangle inequality on dist^d.
+    g = gen.cycle(n, wmin=1, wmax=2, rng=1)
+    base = hub_hopset(g, d0=4, rng=2)
+
+    def build():
+        return rounded_hopset(base, g, eps=0.5)
+
+    hop = benchmark.pedantic(build, rounds=1, iterations=1)
+    rep = verify_hopset(hop, g, sample_sources=32, rng=3)
+    Dd = hop_limited_distances(hop.graph, hop.d)
+    violations = count_triangle_violations(Dd)
+    benchmark.extra_info.update(
+        n=n, d=hop.d, eps=hop.eps, max_ratio=rep.max_ratio, violations=violations
+    )
+    assert rep.ok  # still a valid (d, eps)-hop set
+    assert violations > 0  # inexact ⇒ not a metric (the contrapositive)

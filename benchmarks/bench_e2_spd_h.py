@@ -1,0 +1,66 @@
+"""E2 — Theorem 4.5: ``SPD(H) ∈ O(log² n)`` w.h.p., bounded distortion.
+
+Paper claim: the simulated graph ``H`` of a hop-set-augmented graph with
+geometric levels has polylogarithmic shortest-path diameter while
+``dist_G ≤ dist_H ≤ (1+eps)^{Λ+1}·dist_G``.
+
+Measured, on unit-ish cycles (``SPD(G) = n/2``, the adversarial family):
+``SPD(H)`` vs ``SPD(G)`` vs ``log² n``, and the min/max distortion ratio.
+Expected shape: ``SPD(H)`` stays near-flat (≤ ~``log² n``) while ``SPD(G)``
+grows linearly — the gap widens by ~2x per doubling of n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.shortest_paths import shortest_path_diameter
+from repro.hopsets import hub_hopset, rounded_hopset
+from repro.simulated import SimulatedGraph
+
+
+@pytest.mark.parametrize("n", [32, 64, 128, 256])
+def test_e2_spd_h_polylog(benchmark, n):
+    g = gen.cycle(n, wmin=1, wmax=2, rng=10)
+    eps = 1.0 / np.log2(n)
+    hop = rounded_hopset(hub_hopset(g, rng=11), g, eps)
+
+    def build_and_measure():
+        H = SimulatedGraph.build(hop, rng=12)
+        return H, H.spd()
+
+    (H, spd_h) = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    spd_g = shortest_path_diameter(g)
+    lo, hi = H.distortion_vs(g)
+    benchmark.extra_info.update(
+        n=n,
+        spd_g=spd_g,
+        spd_h=spd_h,
+        log2n_squared=float(np.log2(n) ** 2),
+        Lambda=H.Lambda,
+        distortion_min=lo,
+        distortion_max=hi,
+        distortion_bound=float((1 + hop.eps) ** (H.Lambda + 1)),
+    )
+    assert spd_h <= 2 * np.log2(n) ** 2  # the O(log² n) shape
+    assert spd_h <= spd_g  # H always at least as shallow
+    assert lo >= 1.0 - 1e-9  # dominance
+    assert hi <= (1 + hop.eps) ** (H.Lambda + 1) + 1e-9  # Eq. (4.14)
+
+
+def test_e2_gap_widens_with_n(benchmark):
+    """The headline ratio SPD(G)/SPD(H) must grow with n."""
+
+    def measure():
+        out = {}
+        for n in (64, 256):
+            g = gen.cycle(n, wmin=1, wmax=2, rng=13)
+            eps = 1.0 / np.log2(n)
+            hop = rounded_hopset(hub_hopset(g, rng=14), g, eps)
+            H = SimulatedGraph.build(hop, rng=15)
+            out[n] = shortest_path_diameter(g) / H.spd()
+        return out
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"ratio_n{k}": v for k, v in ratios.items()})
+    assert ratios[256] > ratios[64]

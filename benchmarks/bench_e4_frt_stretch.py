@@ -1,0 +1,85 @@
+"""E4a — Theorem 7.9 / Corollary 7.10: expected stretch ``O(log n)``.
+
+Paper claim: the sampled tree embedding dominates the graph metric and has
+expected stretch ``O(log n)`` — optimal in the worst case (expanders [7]).
+
+Measured: per-family max-over-pairs expected stretch (mean over sampled
+trees), its ratio to ``log2 n``, and dominance; for both the direct
+pipeline and the full oracle pipeline.  Expected shape: ratio to
+``log2 n`` is a small constant (~1-6) on all families, slightly larger for
+the oracle pipeline (the ``(1+eps)^Λ`` distortion), never unbounded; the
+expander family shows the Ω(log n) lower bound is matched (stretch also
+≈ c·log n there).
+"""
+
+import numpy as np
+import pytest
+
+from repro.frt import evaluate_stretch, sample_frt_tree, sample_frt_tree_via_oracle
+from repro.graph import generators as gen
+from repro.hopsets import hub_hopset, rounded_hopset
+from repro.oracle import HOracle
+
+
+def _family(name, rng):
+    if name == "cycle":
+        return gen.cycle(64, rng=rng)
+    if name == "grid":
+        return gen.grid(8, 8, rng=rng)
+    if name == "expander":
+        return gen.random_regular(64, 4, rng=rng)
+    if name == "random":
+        return gen.random_graph(64, 160, rng=rng)
+    raise AssertionError(name)
+
+
+@pytest.mark.parametrize("family", ["cycle", "grid", "expander", "random"])
+def test_e4_direct_stretch(benchmark, family):
+    g = _family(family, 30)
+    shared = np.random.default_rng(31)
+
+    def run():
+        return evaluate_stretch(
+            g, lambda: sample_frt_tree(g, rng=shared).tree, trees=12, rng=32
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        family=family,
+        n=g.n,
+        max_expected_stretch=report.max_expected_stretch,
+        stretch_over_log2n=report.expected_stretch_vs_log(g.n),
+        mean_stretch=report.mean_stretch,
+        dominating=report.dominating,
+    )
+    assert report.dominating
+    assert report.max_expected_stretch <= 12 * np.log2(g.n)
+
+
+@pytest.mark.parametrize("family", ["cycle", "grid"])
+def test_e4_oracle_pipeline_stretch(benchmark, family):
+    g = _family(family, 33)
+    eps = 1.0 / np.log2(g.n) ** 2
+    hopset = rounded_hopset(hub_hopset(g, rng=34), g, eps)
+    oracle = HOracle(hopset, rng=35)
+    shared = np.random.default_rng(36)
+
+    def run():
+        return evaluate_stretch(
+            g,
+            lambda: sample_frt_tree_via_oracle(g, oracle=oracle, rng=shared).tree,
+            trees=10,
+            rng=37,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        family=family,
+        n=g.n,
+        max_expected_stretch=report.max_expected_stretch,
+        stretch_over_log2n=report.expected_stretch_vs_log(g.n),
+        dominating=report.dominating,
+        Lambda=oracle.Lambda,
+    )
+    assert report.dominating
+    assert report.max_expected_stretch <= 16 * np.log2(g.n)

@@ -1,0 +1,107 @@
+"""E7 — Section 3: the MBF-like zoo is correct and fixpoints at SPD.
+
+Paper claims: the framework subsumes SSSP/APSP/k-SSP/source detection/
+widest paths/k-SDP/connectivity; fixpoints arrive within SPD(G)
+iterations; filtering buys efficiency (k-SSP work ≪ APSP work).
+
+Measured: per-algorithm runtime on a common midsize graph (ground truth
+checked), dense-vs-reference engine speedup on APSP, and the filtered
+(k=4) vs unfiltered (k=n) work ratio in ledger units.  Expected shape:
+dense engine wins by an order of magnitude; top-k filtering cuts work by
+~n/k-ish on dense states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.shortest_paths import dijkstra_distances, shortest_path_diameter
+from repro.mbf import run_to_fixpoint, zoo
+from repro.mbf.dense import MinFilter, TopKFilter, run_dense
+from repro.pram import CostLedger
+
+G = gen.random_graph(48, 120, rng=70)
+D_TRUTH = dijkstra_distances(G)
+SPD = shortest_path_diameter(G)
+
+
+@pytest.mark.parametrize(
+    "name", ["sssp", "apsp", "k_ssp", "mssp", "forest_fire", "sswp", "connectivity"]
+)
+def test_e7_zoo_correct_and_timed(benchmark, name):
+    if name == "sssp":
+        inst = zoo.sssp(G.n, 0)
+    elif name == "apsp":
+        inst = zoo.apsp(G.n)
+    elif name == "k_ssp":
+        inst = zoo.k_ssp(G.n, 4)
+    elif name == "mssp":
+        inst = zoo.mssp(G.n, [0, 5, 9])
+    elif name == "forest_fire":
+        inst = zoo.forest_fire(G.n, [0, 7], dmax=3.0)
+    elif name == "sswp":
+        inst = zoo.sswp(G.n, 0)
+    else:
+        inst = zoo.connectivity(G.n)
+
+    def run():
+        return run_to_fixpoint(G, inst.algo, inst.x0)
+
+    states, iters = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(algorithm=name, iterations=iters, spd=SPD)
+    if name != "sswp":
+        # Min-plus algorithms fixpoint within SPD(G); widest-path fixpoints
+        # are bounded by the max-min analogue of the SPD instead (< n).
+        assert iters <= SPD + 1
+    assert iters <= G.n
+    out = inst.decode(states)
+    if name == "sssp":
+        assert np.allclose(out, D_TRUTH[0])
+    elif name == "apsp":
+        assert np.allclose(out, D_TRUTH)
+    elif name == "mssp":
+        assert np.allclose(out[:, [0, 5, 9]], D_TRUTH[:, [0, 5, 9]])
+    elif name == "forest_fire":
+        want = (np.minimum(D_TRUTH[0], D_TRUTH[7]) <= 3.0)
+        assert np.array_equal(out, want)
+    elif name == "connectivity":
+        assert out.all()
+
+
+def test_e7_dense_engine_speedup(benchmark):
+    """The vectorized engine vs the reference engine on APSP."""
+    import time
+
+    inst = zoo.apsp(G.n)
+    t0 = time.perf_counter()
+    ref_states, _ = run_to_fixpoint(G, inst.algo, inst.x0)
+    t_ref = time.perf_counter() - t0
+
+    def dense():
+        return run_dense(G, MinFilter())
+
+    states, _ = benchmark.pedantic(dense, rounds=3, iterations=1)
+    t_dense = benchmark.stats.stats.mean
+    assert np.allclose(states.to_matrix(), inst.decode(ref_states))
+    benchmark.extra_info.update(
+        reference_seconds=t_ref, speedup=t_ref / max(t_dense, 1e-9)
+    )
+    assert t_dense < t_ref  # vectorization must win
+
+
+def test_e7_filtering_cuts_work(benchmark):
+    """Top-k filtering vs full APSP, ledger work (the point of Section 2)."""
+    n = 256
+    g = gen.random_graph(n, 3 * n, rng=71)
+
+    def run():
+        la, lb = CostLedger(), CostLedger()
+        run_dense(g, MinFilter(), ledger=la)
+        run_dense(g, TopKFilter(4), ledger=lb)
+        return la, lb
+
+    la, lb = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        apsp_work=la.work, topk_work=lb.work, work_ratio=la.work / lb.work
+    )
+    assert lb.work * 4 < la.work  # at least 4x saving at k=4, n=256

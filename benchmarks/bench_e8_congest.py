@@ -1,0 +1,106 @@
+"""E8 — Section 8 / Theorem 8.1: Congest round complexities and crossover.
+
+Paper claims: Khan et al. needs ``O(SPD(G)·log n)`` rounds; the
+skeleton-based algorithm needs ``(sqrt(n)+D(G))·n^{o(1)}``.  Hence Khan
+wins on low-SPD graphs and loses on high-SPD low-diameter graphs, with the
+crossover near ``SPD ≈ sqrt(n)``.
+
+Measured: simulated round counts of both algorithms on (a) stars
+(SPD = 2 — Khan's home turf), (b) cycle-with-hub graphs (D = 2,
+SPD = n/2 — the skeleton algorithm's target regime) across sizes.
+Expected shape: Khan's rounds grow ~linearly in n on (b) while the
+skeleton algorithm's grow ~sqrt(n)·polylog; ordering flips between (a)
+and (b).
+"""
+
+import numpy as np
+import pytest
+
+from repro.congest import khan_le_lists, skeleton_frt
+from repro.graph import generators as gen
+
+
+@pytest.mark.parametrize("n", [128, 256, 512])
+def test_e8_khan_rounds_scale_with_spd(benchmark, n):
+    g = gen.cycle_with_hub(n)
+    rank = np.random.default_rng(80).permutation(g.n)
+
+    def run():
+        return khan_le_lists(g, rank)
+
+    _, iters, ledger = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        n=g.n, spd_scale=n // 2, iterations=iters, rounds=ledger.rounds,
+        rounds_per_spd=ledger.rounds / (n // 2),
+    )
+    assert iters >= n // 2 - 2  # Θ(SPD) iterations
+    assert ledger.rounds <= 6 * (n // 2) * np.log2(n)  # O(SPD log n)
+
+
+@pytest.mark.parametrize("n", [128, 256, 512])
+def test_e8_skeleton_rounds_sublinear(benchmark, n):
+    g = gen.cycle_with_hub(n)
+
+    def run():
+        return skeleton_frt(g, eps=0.0, c=0.5, rng=81)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        n=g.n,
+        rounds=res.ledger.rounds,
+        rounds_over_sqrt=res.ledger.rounds / np.sqrt(n),
+        breakdown=res.ledger.breakdown(),
+    )
+    # (sqrt n + D) polylog: allow a generous polylog envelope.
+    assert res.ledger.rounds <= 12 * np.sqrt(n) * np.log2(n) ** 1.5
+
+
+@pytest.mark.parametrize("n", [256, 512])
+def test_e8_spanner_variant_section_82(benchmark, n):
+    """Section 8.2 (spanner broadcast) sits between Khan and Section 8.3:
+    it beats Khan on high-SPD low-D graphs but pays the n^eps-style
+    spanner-broadcast overhead that 8.3 removes."""
+    from repro.congest import spanner_frt
+
+    g = gen.cycle_with_hub(n)
+
+    def run():
+        return spanner_frt(g, k=3, c=0.5, rng=87)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    sk = skeleton_frt(g, eps=0.0, c=0.5, rng=88)
+    benchmark.extra_info.update(
+        n=g.n,
+        spanner82_rounds=res.ledger.rounds,
+        skeleton83_rounds=sk.ledger.rounds,
+        spanner_edges=res.meta["spanner_edges"],
+    )
+    assert sk.ledger.rounds < res.ledger.rounds  # 8.3 improves on 8.2
+
+
+def test_e8_crossover(benchmark):
+    """Khan wins on stars, skeleton wins on high-SPD low-D graphs."""
+
+    def run():
+        out = {}
+        star = gen.star(256, rng=82)
+        rank = np.random.default_rng(83).permutation(star.n)
+        _, _, kl = khan_le_lists(star, rank)
+        sk = skeleton_frt(star, eps=0.0, c=0.5, rng=84)
+        out["star"] = (kl.rounds, sk.ledger.rounds)
+        hub = gen.cycle_with_hub(512)
+        rank = np.random.default_rng(85).permutation(hub.n)
+        _, _, kl2 = khan_le_lists(hub, rank)
+        sk2 = skeleton_frt(hub, eps=0.0, c=0.5, rng=86)
+        out["cycle_with_hub"] = (kl2.rounds, sk2.ledger.rounds)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        star_khan=res["star"][0],
+        star_skeleton=res["star"][1],
+        hub_khan=res["cycle_with_hub"][0],
+        hub_skeleton=res["cycle_with_hub"][1],
+    )
+    assert res["star"][0] < res["star"][1]  # Khan wins at SPD = 2
+    assert res["cycle_with_hub"][1] < res["cycle_with_hub"][0]  # flip at high SPD

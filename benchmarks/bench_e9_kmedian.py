@@ -1,0 +1,62 @@
+"""E9 — Theorem 9.2: expected ``O(log k)``-approximate k-median.
+
+Paper claim: candidate sampling + FRT embedding + exact tree DP yields an
+expected ``O(log k)``-approximation from a graph input.
+
+Measured: cost ratio vs the true optimum (small instances, brute force)
+and vs greedy/random baselines across k.  Expected shape: ratios are small
+constants (≈1-2), far below the worst-case ``O(log k)``; the FRT pipeline
+beats random clearly and tracks greedy.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.apps.kmedian import kmedian, kmedian_greedy, kmedian_random
+from repro.graph import generators as gen
+from repro.graph.shortest_paths import dijkstra_distances
+
+
+def brute_force(G, k):
+    D = dijkstra_distances(G)
+    return min(
+        D[list(s)].min(axis=0).sum() for s in itertools.combinations(range(G.n), k)
+    )
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_e9_vs_optimum_small(benchmark, k):
+    g = gen.random_graph(22, 55, rng=90)
+    opt = brute_force(g, k)
+
+    def run():
+        return kmedian(g, k, trees=4, rng=91)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = res.cost / opt
+    benchmark.extra_info.update(k=k, ratio_vs_opt=float(ratio), opt=float(opt))
+    assert ratio <= 2.5  # far below O(log k) worst case
+
+
+@pytest.mark.parametrize("k", [4, 8, 16])
+def test_e9_vs_baselines(benchmark, k):
+    g = gen.grid(10, 10, rng=92)
+
+    def run():
+        return kmedian(g, k, trees=4, rng=93)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    greedy = kmedian_greedy(g, k)
+    rand_costs = [kmedian_random(g, k, rng=s).cost for s in range(5)]
+    benchmark.extra_info.update(
+        k=k,
+        frt_cost=res.cost,
+        greedy_cost=greedy.cost,
+        random_cost_mean=float(np.mean(rand_costs)),
+        ratio_vs_greedy=res.cost / greedy.cost,
+        candidates=res.meta["candidates"],
+    )
+    assert res.cost <= 1.6 * greedy.cost
+    assert res.cost <= np.mean(rand_costs)

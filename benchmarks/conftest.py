@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Each ``bench_e*.py`` file regenerates one experiment from the DESIGN.md
+index (the paper has no empirical tables/figures; the experiments measure
+its quantitative theorems).  Measured quantities land in
+``benchmark.extra_info`` so that ``pytest benchmarks/ --benchmark-only
+--benchmark-json=out.json`` produces a machine-readable record; the shape
+assertions (who wins, by what factor) run inline.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2016)  # SPAA 2016

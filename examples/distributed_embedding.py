@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Congest-model round complexity: Khan et al. vs the skeleton algorithm.
+
+Section 8's headline: on graphs with small hop diameter but large
+shortest-path diameter, the skeleton-based algorithm (Theorem 8.1) needs
+~(sqrt(n) + D(G)) polylog rounds where Khan et al. needs Θ(SPD · log n).
+We simulate both on the canonical family (a cycle with a heavy hub:
+D = 2, SPD = n/2) and on a star (SPD = 2), printing the crossover.
+
+Run:  python examples/distributed_embedding.py
+"""
+
+import numpy as np
+
+from repro.congest import khan_le_lists, skeleton_frt
+from repro.graph import generators
+from repro.graph.shortest_paths import hop_diameter, shortest_path_diameter
+
+
+def compare(name, g, seed):
+    rank = np.random.default_rng(seed).permutation(g.n)
+    _, iters, khan = khan_le_lists(g, rank)
+    sk = skeleton_frt(g, eps=0.0, c=0.5, rng=seed + 1)
+    print(
+        f"{name:>18}  n={g.n:>4}  SPD={shortest_path_diameter(g):>4} "
+        f"D={hop_diameter(g):>3}  khan={khan.rounds:>6} rounds  "
+        f"skeleton={sk.ledger.rounds:>6} rounds  "
+        f"winner={'skeleton' if sk.ledger.rounds < khan.rounds else 'khan'}"
+    )
+    return khan.rounds, sk.ledger.rounds
+
+
+def main() -> None:
+    print("Congest round counts (simulated, message-level accounting):\n")
+    compare("star (low SPD)", generators.star(256, rng=0), seed=10)
+    for n in (128, 256, 512):
+        compare("cycle+hub (high SPD)", generators.cycle_with_hub(n), seed=n)
+    print(
+        "\nKhan et al. is Θ(SPD·log n): unbeatable at SPD=2, linear-in-n on"
+        "\nthe hub graphs; the skeleton algorithm's rounds grow ~sqrt(n)·polylog."
+    )
+    sk = skeleton_frt(generators.cycle_with_hub(512), eps=0.0, c=0.5, rng=99)
+    print("\nskeleton round breakdown (n=513):")
+    for phase, rounds in sk.ledger.breakdown().items():
+        print(f"  {phase:<28} {rounds:>6}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: sample a metric tree embedding and check its guarantees.
+
+Builds a weighted graph with a large shortest-path diameter (a cycle — the
+worst case for plain Moore-Bellman-Ford), samples FRT trees with the two
+pipelines, and verifies the embedding contract of Definition 7.1:
+
+- domination: dist_T(u, v) >= dist_G(u, v) for every pair,
+- expected stretch O(log n): max over pairs of the mean tree/graph ratio.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.frt import evaluate_stretch, sample_frt_tree, sample_frt_tree_via_oracle
+from repro.graph import generators
+from repro.graph.shortest_paths import shortest_path_diameter
+from repro.hopsets import hub_hopset, rounded_hopset
+from repro.oracle import HOracle
+
+
+def main() -> None:
+    n = 64
+    g = generators.cycle(n, wmin=1.0, wmax=3.0, rng=7)
+    print(f"graph: cycle  n={g.n}  m={g.m}  SPD={shortest_path_diameter(g)}")
+
+    # -- one tree, direct pipeline ------------------------------------------
+    res = sample_frt_tree(g, rng=1)
+    t = res.tree
+    print(
+        f"\ndirect pipeline:  tree with {t.num_nodes} nodes, depth {t.k}, "
+        f"beta={res.beta:.3f}, LE-list iterations={res.iterations}"
+    )
+    print(f"  dist_G(0, {n // 2}) = {g.weights[:n // 2].sum():.2f} (via ring)")
+    print(f"  dist_T(0, {n // 2}) = {t.distance(0, n // 2):.2f}")
+
+    # -- one tree, the paper's oracle pipeline --------------------------------
+    eps = 1.0 / np.log2(n) ** 2
+    hopset = rounded_hopset(hub_hopset(g, rng=2), g, eps)
+    oracle = HOracle(hopset, rng=3)
+    res_o = sample_frt_tree_via_oracle(g, oracle=oracle, rng=4)
+    print(
+        f"\noracle pipeline:  hop bound d={oracle.d}, levels Λ={oracle.Lambda}, "
+        f"H-iterations={res_o.iterations} (vs SPD={shortest_path_diameter(g)})"
+    )
+
+    # -- stretch over repeated samples ---------------------------------------
+    shared = np.random.default_rng(5)
+    report = evaluate_stretch(
+        g, lambda: sample_frt_tree(g, rng=shared).tree, trees=16, rng=6
+    )
+    print(
+        f"\nstretch over {report.trees} trees, {report.pairs} pairs:\n"
+        f"  dominating          : {report.dominating}\n"
+        f"  max expected stretch: {report.max_expected_stretch:.2f}"
+        f"  (= {report.expected_stretch_vs_log(n):.2f} x log2 n)\n"
+        f"  mean stretch        : {report.mean_stretch:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — reproduction of Friedrichs & Lenzen, "Parallel Metric Tree
+Embedding based on an Algebraic View on Moore-Bellman-Ford" (SPAA 2016).
+
+Top-level re-exports cover the most common entry points; see the
+subpackages for the full API:
+
+- :mod:`repro.algebra` — semirings and semimodules (Sections 2-3, App. A),
+- :mod:`repro.mbf` — the MBF-like algorithm framework and the algorithm zoo,
+- :mod:`repro.graph` — graphs, generators, distances, SPD,
+- :mod:`repro.hopsets` — (d, eps)-hop sets,
+- :mod:`repro.simulated` — the simulated graph H (Section 4),
+- :mod:`repro.oracle` — the MBF-like query oracle on H (Section 5),
+- :mod:`repro.metric` — approximate metrics and spanners (Section 6),
+- :mod:`repro.frt` — LE lists and FRT tree embeddings (Section 7),
+- :mod:`repro.congest` — distributed (Congest) algorithms (Section 8),
+- :mod:`repro.apps` — k-median and buy-at-bulk (Sections 9-10),
+- :mod:`repro.pram` — the work/depth cost model.
+"""
+
+from repro.graph.core import Graph
+from repro.pram.cost import CostLedger
+
+__version__ = "1.0.0"
+
+__all__ = ["Graph", "CostLedger", "__version__"]

@@ -1,0 +1,62 @@
+"""Algebraic foundations: semirings and zero-preserving semimodules.
+
+This package implements the structures of Appendix A and Sections 2-3 of the
+paper:
+
+- :class:`~repro.algebra.semiring.MinPlus` — the tropical semiring
+  ``S_min,+ = (R>=0 ∪ {inf}, min, +)`` (Definition A.2 / Section 1.2),
+- :class:`~repro.algebra.semiring.MaxMin` — the widest-path semiring
+  ``S_max,min`` (Definition 3.9),
+- :class:`~repro.algebra.semiring.BooleanSemiring` — connectivity
+  (Section 3.4),
+- :class:`~repro.algebra.semiring.AllPaths` — the all-paths semiring
+  ``P_min,+`` (Definition 3.17),
+- :class:`~repro.algebra.semimodule.DistanceMapModule` — the distance-map
+  semimodule ``D`` (Definition 2.1),
+- :class:`~repro.algebra.semimodule.WidthMapModule` — the semimodule ``W``
+  over ``S_max,min`` (Corollary 3.11),
+- :class:`~repro.algebra.semimodule.SemiringAsModule` — any semiring viewed
+  as a zero-preserving semimodule over itself.
+
+Elements are plain Python values (floats, dicts, bools); the semiring /
+semimodule objects carry the operations.  ``laws.py`` provides executable
+checkers for the axioms, used by the property-based test-suite.
+"""
+
+from repro.algebra.semiring import (
+    INF,
+    AllPaths,
+    BooleanSemiring,
+    MaxMin,
+    MinPlus,
+    Semiring,
+)
+from repro.algebra.semimodule import (
+    DistanceMapModule,
+    Semimodule,
+    SemiringAsModule,
+    SetModule,
+    WidthMapModule,
+)
+from repro.algebra.laws import (
+    check_congruence_on_samples,
+    check_semimodule_laws,
+    check_semiring_laws,
+)
+
+__all__ = [
+    "INF",
+    "Semiring",
+    "MinPlus",
+    "MaxMin",
+    "BooleanSemiring",
+    "AllPaths",
+    "Semimodule",
+    "DistanceMapModule",
+    "WidthMapModule",
+    "SetModule",
+    "SemiringAsModule",
+    "check_semiring_laws",
+    "check_semimodule_laws",
+    "check_congruence_on_samples",
+]

@@ -1,0 +1,135 @@
+"""Executable algebraic law checkers.
+
+These functions verify the axioms of Definitions A.2 (semiring), A.3
+(semimodule) and 2.4/2.6 (congruence relation / representative projection)
+on concrete sample elements.  They return ``None`` on success and raise
+``AssertionError`` with a descriptive message on the first violated law —
+which makes them directly usable from hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Callable, Sequence
+
+from repro.algebra.semimodule import Semimodule
+from repro.algebra.semiring import Semiring
+
+__all__ = [
+    "check_semiring_laws",
+    "check_semimodule_laws",
+    "check_congruence_on_samples",
+]
+
+
+def _fmt(*xs: Any) -> str:
+    return ", ".join(repr(x) for x in xs)
+
+
+def check_semiring_laws(S: Semiring, elements: Sequence[Any]) -> None:
+    """Assert the semiring axioms on all triples from ``elements``.
+
+    Checks: ⊕ associative + commutative with neutral ``zero``; ⊙ associative
+    with neutral ``one``; both distributive laws; ``zero`` annihilates.
+    """
+    zero, one = S.zero, S.one
+    elems = list(elements)
+    for a in elems:
+        assert S.eq(S.add(a, zero), a), f"zero not ⊕-neutral: {_fmt(a)}"
+        assert S.eq(S.add(zero, a), a), f"zero not ⊕-neutral (left): {_fmt(a)}"
+        assert S.eq(S.mul(a, one), a), f"one not ⊙-neutral (right): {_fmt(a)}"
+        assert S.eq(S.mul(one, a), a), f"one not ⊙-neutral (left): {_fmt(a)}"
+        assert S.eq(S.mul(a, zero), zero), f"zero not right-annihilating: {_fmt(a)}"
+        assert S.eq(S.mul(zero, a), zero), f"zero not left-annihilating: {_fmt(a)}"
+    for a, b in product(elems, repeat=2):
+        assert S.eq(S.add(a, b), S.add(b, a)), f"⊕ not commutative: {_fmt(a, b)}"
+    for a, b, c in product(elems, repeat=3):
+        assert S.eq(S.add(S.add(a, b), c), S.add(a, S.add(b, c))), (
+            f"⊕ not associative: {_fmt(a, b, c)}"
+        )
+        assert S.eq(S.mul(S.mul(a, b), c), S.mul(a, S.mul(b, c))), (
+            f"⊙ not associative: {_fmt(a, b, c)}"
+        )
+        assert S.eq(S.mul(a, S.add(b, c)), S.add(S.mul(a, b), S.mul(a, c))), (
+            f"left distributivity fails: {_fmt(a, b, c)}"
+        )
+        assert S.eq(S.mul(S.add(b, c), a), S.add(S.mul(b, a), S.mul(c, a))), (
+            f"right distributivity fails: {_fmt(a, b, c)}"
+        )
+
+
+def check_semimodule_laws(
+    M: Semimodule,
+    scalars: Sequence[Any],
+    elements: Sequence[Any],
+) -> None:
+    """Assert the zero-preserving semimodule axioms (Equations 2.1-2.5).
+
+    - ``(M, ⊕)`` is a commutative semigroup with neutral ⊥,
+    - ``one ⊙ x = x``, ``zero_S ⊙ x = ⊥`` (zero-preserving),
+    - ``s ⊙ (x ⊕ y) = s⊙x ⊕ s⊙y`` (2.3),
+    - ``(s ⊕ t) ⊙ x = s⊙x ⊕ t⊙x`` (2.4),
+    - ``(s ⊙ t) ⊙ x = s ⊙ (t ⊙ x)`` (2.5).
+    """
+    S = M.semiring
+    bot = M.zero
+    elems = list(elements)
+    for x in elems:
+        assert M.eq(M.add(x, bot), x), f"⊥ not ⊕-neutral: {_fmt(x)}"
+        assert M.eq(M.add(bot, x), x), f"⊥ not ⊕-neutral (left): {_fmt(x)}"
+        assert M.eq(M.smul(S.one, x), x), f"one ⊙ x != x: {_fmt(x)}"
+        assert M.eq(M.smul(S.zero, x), bot), f"zero ⊙ x != ⊥: {_fmt(x)}"
+    for x, y in product(elems, repeat=2):
+        assert M.eq(M.add(x, y), M.add(y, x)), f"⊕ not commutative: {_fmt(x, y)}"
+    for x, y, z in product(elems, repeat=3):
+        assert M.eq(M.add(M.add(x, y), z), M.add(x, M.add(y, z))), (
+            f"⊕ not associative: {_fmt(x, y, z)}"
+        )
+    for s in scalars:
+        for x, y in product(elems, repeat=2):
+            assert M.eq(M.smul(s, M.add(x, y)), M.add(M.smul(s, x), M.smul(s, y))), (
+                f"(2.3) fails: {_fmt(s, x, y)}"
+            )
+    for s, t in product(scalars, repeat=2):
+        for x in elems:
+            assert M.eq(
+                M.smul(S.add(s, t), x), M.add(M.smul(s, x), M.smul(t, x))
+            ), f"(2.4) fails: {_fmt(s, t, x)}"
+            assert M.eq(M.smul(S.mul(s, t), x), M.smul(s, M.smul(t, x))), (
+                f"(2.5) fails: {_fmt(s, t, x)}"
+            )
+
+
+def check_congruence_on_samples(
+    M: Semimodule,
+    r: Callable[[Any], Any],
+    scalars: Sequence[Any],
+    elements: Sequence[Any],
+) -> None:
+    """Assert that ``r`` behaves as a representative projection on samples.
+
+    Via Lemma 2.8 it suffices that ``r`` is a projection and satisfies
+    (2.12)/(2.13):
+
+    - ``r(r(x)) = r(x)`` (projection),
+    - ``r(x) = r(x')  ⇒  r(s⊙x) = r(s⊙x')``,
+    - ``r(x) = r(x') ∧ r(y) = r(y')  ⇒  r(x⊕y) = r(x'⊕y')``.
+
+    We instantiate ``x' = r(x)`` (and ``y' = r(y)``), which is the only
+    systematic way to generate equivalent-but-distinct pairs without knowing
+    the relation's structure; this is exactly the form used in the paper's
+    own proofs (Equation 7.7).
+    """
+    elems = list(elements)
+    for x in elems:
+        rx = r(x)
+        assert M.eq(r(rx), rx), f"r not a projection at {_fmt(x)}"
+    for s in scalars:
+        for x in elems:
+            assert M.eq(r(M.smul(s, x)), r(M.smul(s, r(x)))), (
+                f"(2.12) fails: {_fmt(s, x)}"
+            )
+    for x, y in product(elems, repeat=2):
+        assert M.eq(r(M.add(x, y)), r(M.add(r(x), r(y)))), (
+            f"(2.13) fails: {_fmt(x, y)}"
+        )

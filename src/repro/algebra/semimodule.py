@@ -1,0 +1,263 @@
+"""Zero-preserving semimodules over semirings (Definition A.3).
+
+A semimodule ``M = (M, ⊕, ⊙)`` over a semiring ``S`` supports aggregation
+``⊕ : M × M -> M`` and propagation (scalar multiplication)
+``⊙ : S × M -> M`` satisfying Equations (2.1)-(2.5) of the paper.  In an
+MBF-like algorithm node states live in ``M`` and edge weights in ``S``.
+
+Implementations:
+
+- :class:`SemiringAsModule` — any semiring is a zero-preserving semimodule
+  over itself (used by SSSP, forest fire, SSWP, k-SDP, ...).
+- :class:`DistanceMapModule` — the distance map semimodule ``D``
+  (Definition 2.1): sparse vectors ``(R>=0 ∪ {inf})^V`` stored as
+  ``{vertex: distance}`` with absent = infinite; ⊕ is the entrywise min and
+  ``s ⊙ x`` uniformly increases distances by ``s``.
+- :class:`WidthMapModule` — the semimodule ``W`` over ``S_max,min``
+  (Corollary 3.11): sparse vectors with absent = 0 (the zero of max-min);
+  ⊕ is the entrywise max, ``s ⊙ x`` caps entries at ``s``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+from repro.algebra.semiring import INF, MaxMin, MinPlus, Semiring
+
+__all__ = [
+    "Semimodule",
+    "SemiringAsModule",
+    "DistanceMapModule",
+    "WidthMapModule",
+    "SetModule",
+]
+
+
+class Semimodule(ABC):
+    """Abstract zero-preserving semimodule over :attr:`semiring`."""
+
+    semiring: Semiring
+
+    @property
+    @abstractmethod
+    def zero(self) -> Any:
+        """The neutral element ⊥ of ⊕ ("no information")."""
+
+    @abstractmethod
+    def add(self, x: Any, y: Any) -> Any:
+        """Aggregation ⊕ of two node states."""
+
+    @abstractmethod
+    def smul(self, s: Any, x: Any) -> Any:
+        """Propagation ``s ⊙ x`` of state ``x`` over an edge of weight ``s``."""
+
+    def eq(self, x: Any, y: Any) -> bool:
+        """State equality (override for non-canonical representations)."""
+        return x == y
+
+    def add_many(self, items: Iterable[Any]) -> Any:
+        """Fold ⊕ over ``items`` (⊥ on empty input)."""
+        acc = self.zero
+        for x in items:
+            acc = self.add(acc, x)
+        return acc
+
+    def is_element(self, x: Any) -> bool:
+        return True
+
+
+class SemiringAsModule(Semimodule):
+    """View a semiring as a zero-preserving semimodule over itself.
+
+    Every semiring trivially satisfies (2.1)-(2.5) with ``⊙`` as both scalar
+    and internal multiplication; ``⊥`` is the semiring zero.
+    """
+
+    def __init__(self, semiring: Semiring):
+        self.semiring = semiring
+
+    @property
+    def zero(self) -> Any:
+        return self.semiring.zero
+
+    def add(self, x: Any, y: Any) -> Any:
+        return self.semiring.add(x, y)
+
+    def smul(self, s: Any, x: Any) -> Any:
+        return self.semiring.mul(s, x)
+
+    def eq(self, x: Any, y: Any) -> bool:
+        return self.semiring.eq(x, y)
+
+    def is_element(self, x: Any) -> bool:
+        return self.semiring.is_element(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SemiringAsModule({self.semiring!r})"
+
+
+class DistanceMapModule(Semimodule):
+    """The distance-map semimodule ``D = ((R>=0 ∪ {inf})^V, min, +shift)``.
+
+    Definition 2.1.  States are sparse dicts ``{vertex: distance}``; a vertex
+    absent from the dict is at distance ``inf``.  The canonical form never
+    stores infinite entries — :meth:`canonical` enforces this and ``eq``
+    compares canonical forms.
+
+    ``n`` (the size of ``V``) is kept for validation; the sparse encoding is
+    exactly the paper's "store only non-infinite entries" representation that
+    makes Lemma 2.3 aggregation efficient.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("DistanceMapModule requires a positive vertex count")
+        self.n = int(n)
+        self.semiring = MinPlus()
+
+    @property
+    def zero(self) -> dict:
+        return {}
+
+    def add(self, x: dict, y: dict) -> dict:
+        if not x:
+            return {k: v for k, v in y.items() if v != INF}
+        out = {k: v for k, v in x.items() if v != INF}
+        for k, v in y.items():
+            if v == INF:
+                continue
+            cur = out.get(k, INF)
+            if v < cur:
+                out[k] = v
+        return out
+
+    def smul(self, s: float, x: dict) -> dict:
+        if s == INF or not x:
+            return {}
+        if s == 0.0:
+            return {k: v for k, v in x.items() if v != INF}
+        return {k: v + s for k, v in x.items() if v != INF}
+
+    def eq(self, x: dict, y: dict) -> bool:
+        return self.canonical(x) == self.canonical(y)
+
+    @staticmethod
+    def canonical(x: dict) -> dict:
+        return {k: v for k, v in x.items() if v != INF}
+
+    def is_element(self, x: Any) -> bool:
+        if not isinstance(x, dict):
+            return False
+        for k, v in x.items():
+            if not (isinstance(k, (int,)) or hasattr(k, "__index__")):
+                return False
+            if not 0 <= int(k) < self.n:
+                return False
+            if v < 0 or (isinstance(v, float) and math.isnan(v)):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceMapModule(n={self.n})"
+
+
+class WidthMapModule(Semimodule):
+    """The semimodule ``W`` over ``S_max,min`` (Corollary 3.11).
+
+    States are sparse dicts ``{vertex: width}``; absence means width ``0``
+    (the max-min zero).  ``⊕`` is the entrywise max; ``s ⊙ x`` caps every
+    width at ``s`` (propagating over an edge cannot widen a path).
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("WidthMapModule requires a positive vertex count")
+        self.n = int(n)
+        self.semiring = MaxMin()
+
+    @property
+    def zero(self) -> dict:
+        return {}
+
+    def add(self, x: dict, y: dict) -> dict:
+        if not x:
+            return {k: v for k, v in y.items() if v > 0}
+        out = {k: v for k, v in x.items() if v > 0}
+        for k, v in y.items():
+            if v <= 0:
+                continue
+            cur = out.get(k, 0.0)
+            if v > cur:
+                out[k] = v
+        return out
+
+    def smul(self, s: float, x: dict) -> dict:
+        if s == 0.0 or not x:
+            return {}
+        out = {}
+        for k, v in x.items():
+            w = v if v <= s else s
+            if w > 0:
+                out[k] = w
+        return out
+
+    def eq(self, x: dict, y: dict) -> bool:
+        return self.canonical(x) == self.canonical(y)
+
+    @staticmethod
+    def canonical(x: dict) -> dict:
+        return {k: v for k, v in x.items() if v > 0}
+
+    def is_element(self, x: Any) -> bool:
+        if not isinstance(x, dict):
+            return False
+        for k, v in x.items():
+            if not 0 <= int(k) < self.n:
+                return False
+            if v < 0 or (isinstance(v, float) and math.isnan(v)):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WidthMapModule(n={self.n})"
+
+
+class SetModule(Semimodule):
+    """``B^V`` as a zero-preserving semimodule over the Boolean semiring.
+
+    Section 3.4 (connectivity): states are sets of reachable vertices
+    (``frozenset`` ⊆ ``{0..n-1}``); ⊕ is union, ``s ⊙ x`` is ``x`` when
+    ``s`` is true and ``∅`` when false.  ⊥ = ∅.
+    """
+
+    def __init__(self, n: int):
+        from repro.algebra.semiring import BooleanSemiring
+
+        if n <= 0:
+            raise ValueError("SetModule requires a positive vertex count")
+        self.n = int(n)
+        self.semiring = BooleanSemiring()
+
+    @property
+    def zero(self) -> frozenset:
+        return frozenset()
+
+    def add(self, x: frozenset, y: frozenset) -> frozenset:
+        return frozenset(x) | frozenset(y)
+
+    def smul(self, s: bool, x: frozenset) -> frozenset:
+        return frozenset(x) if s else frozenset()
+
+    def eq(self, x: frozenset, y: frozenset) -> bool:
+        return frozenset(x) == frozenset(y)
+
+    def is_element(self, x: Any) -> bool:
+        try:
+            return all(0 <= int(v) < self.n for v in x)
+        except TypeError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SetModule(n={self.n})"

@@ -1,0 +1,260 @@
+"""Semiring implementations (Definition A.2 and Sections 3.2-3.4).
+
+A semiring ``(S, ⊕, ⊙)`` is a commutative monoid ``(S, ⊕, 0)`` and a monoid
+``(S, ⊙, 1)`` with both distributive laws and ``0`` annihilating under ``⊙``.
+Instances here expose ``zero``, ``one``, ``add``, ``mul``, plus helpers.
+
+Elements are plain Python values so that they compose cheaply with dict-based
+sparse semimodules:
+
+============  =======================  ==================  =================
+semiring      element type             zero                one
+============  =======================  ==================  =================
+MinPlus       float (>= 0 or inf)      inf                 0.0
+MaxMin        float (>= 0 or inf)      0.0                 inf
+Boolean       bool                     False               True
+AllPaths      dict[path tuple, float]  {} (all-infinite)   {(v,): 0 ∀ v}
+============  =======================  ==================  =================
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+__all__ = ["INF", "Semiring", "MinPlus", "MaxMin", "BooleanSemiring", "AllPaths"]
+
+INF = math.inf
+
+
+class Semiring(ABC):
+    """Abstract semiring: supplies ``zero``, ``one``, ``add``, ``mul``.
+
+    ``add`` models aggregation (the paper's ⊕) and ``mul`` models propagation
+    (the paper's ⊙).  Subclasses must ensure the semiring axioms; the test
+    suite verifies them with :func:`repro.algebra.laws.check_semiring_laws`.
+    """
+
+    @property
+    @abstractmethod
+    def zero(self) -> Any:
+        """Neutral element of ⊕; annihilator of ⊙."""
+
+    @property
+    @abstractmethod
+    def one(self) -> Any:
+        """Neutral element of ⊙."""
+
+    @abstractmethod
+    def add(self, a: Any, b: Any) -> Any:
+        """The semiring addition ⊕."""
+
+    @abstractmethod
+    def mul(self, a: Any, b: Any) -> Any:
+        """The semiring multiplication ⊙."""
+
+    def eq(self, a: Any, b: Any) -> bool:
+        """Element equality (override for non-canonical representations)."""
+        return a == b
+
+    def add_many(self, items: Iterable[Any]) -> Any:
+        """Fold ⊕ over ``items`` (returns ``zero`` on empty input)."""
+        acc = self.zero
+        for x in items:
+            acc = self.add(acc, x)
+        return acc
+
+    def power(self, a: Any, k: int) -> Any:
+        """``a ⊙ a ⊙ ... ⊙ a`` (``k`` factors); ``one`` for ``k == 0``."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        acc = self.one
+        base = a
+        while k:
+            if k & 1:
+                acc = self.mul(acc, base)
+            base = self.mul(base, base)
+            k >>= 1
+        return acc
+
+    def is_element(self, a: Any) -> bool:
+        """Loose structural membership test, used by validation helpers."""
+        return True
+
+
+class MinPlus(Semiring):
+    """The tropical semiring ``S_min,+ = (R>=0 ∪ {inf}, min, +)``.
+
+    The workhorse of the paper: adjacency matrices over ``MinPlus`` compute
+    hop-limited distances via the distance product (Section 1.2).
+    """
+
+    @property
+    def zero(self) -> float:
+        return INF
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def add(self, a: float, b: float) -> float:
+        return a if a <= b else b
+
+    def mul(self, a: float, b: float) -> float:
+        # inf + anything = inf is exactly the annihilation law.
+        return a + b
+
+    def is_element(self, a: Any) -> bool:
+        return isinstance(a, (int, float)) and (a >= 0 or a == INF) and not math.isnan(a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MinPlus()"
+
+
+class MaxMin(Semiring):
+    """The max-min (bottleneck / widest path) semiring ``S_max,min``.
+
+    Definition 3.9: ⊕ = max with neutral 0; ⊙ = min with neutral inf.
+    ``0`` annihilates: ``min(0, x) = 0``.
+    """
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return INF
+
+    def add(self, a: float, b: float) -> float:
+        return a if a >= b else b
+
+    def mul(self, a: float, b: float) -> float:
+        return a if a <= b else b
+
+    def is_element(self, a: Any) -> bool:
+        return isinstance(a, (int, float)) and (a >= 0 or a == INF) and not math.isnan(a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MaxMin()"
+
+
+class BooleanSemiring(Semiring):
+    """The Boolean semiring ``B = ({0,1}, ∨, ∧)`` (Section 3.4)."""
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, a: bool, b: bool) -> bool:
+        return bool(a or b)
+
+    def mul(self, a: bool, b: bool) -> bool:
+        return bool(a and b)
+
+    def is_element(self, a: Any) -> bool:
+        return isinstance(a, (bool,)) or a in (0, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BooleanSemiring()"
+
+
+class AllPaths(Semiring):
+    """The all-paths semiring ``P_min,+`` (Definition 3.17).
+
+    Elements are sparse mappings ``{path: weight}`` where a *path* is a tuple
+    of distinct vertex ids (loop-free, non-empty); absent paths implicitly
+    carry weight ``inf``.  Operations:
+
+    - ``(x ⊕ y)_π = min(x_π, y_π)`` — union, keeping the lighter estimate;
+    - ``(x ⊙ y)_π = min{x_π1 + y_π2 : π = π1 ∘ π2}`` — all concatenations of
+      a path from ``x`` with a *concatenable* path from ``y`` (last vertex of
+      ``π1`` equals first vertex of ``π2``), discarding concatenations that
+      would repeat a vertex (those do not form loop-free paths and hence are
+      not elements of ``P``).
+
+    The vertex universe ``V = {0..n-1}`` must be supplied because the
+    multiplicative neutral ``1`` contains every zero-hop path ``(v)``.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("AllPaths requires a positive vertex count")
+        self.n = int(n)
+
+    @property
+    def zero(self) -> dict:
+        return {}
+
+    @property
+    def one(self) -> dict:
+        return {(v,): 0.0 for v in range(self.n)}
+
+    def add(self, a: dict, b: dict) -> dict:
+        if not a:
+            return dict(b)
+        if not b:
+            return dict(a)
+        out = dict(a)
+        for path, w in b.items():
+            cur = out.get(path, INF)
+            if w < cur:
+                out[path] = w
+        return out
+
+    def mul(self, a: dict, b: dict) -> dict:
+        out: dict = {}
+        if not a or not b:
+            return out
+        # Index b's paths by their first vertex for the concatenability join.
+        by_head: dict[int, list[tuple[tuple, float]]] = {}
+        for path, w in b.items():
+            by_head.setdefault(path[0], []).append((path, w))
+        for p1, w1 in a.items():
+            tail = p1[-1]
+            cands = by_head.get(tail)
+            if not cands:
+                continue
+            p1set = set(p1)
+            for p2, w2 in cands:
+                # Concatenation (v1..vk) ∘ (vk, w1..wl) = (v1..vk, w1..wl);
+                # must remain loop-free.
+                rest = p2[1:]
+                if p1set.intersection(rest):
+                    continue
+                path = p1 + rest
+                w = w1 + w2
+                cur = out.get(path, INF)
+                if w < cur:
+                    out[path] = w
+        return out
+
+    def eq(self, a: dict, b: dict) -> bool:
+        return self.canonical(a) == self.canonical(b)
+
+    @staticmethod
+    def canonical(a: dict) -> dict:
+        """Drop explicit infinite entries (absent == infinite)."""
+        return {p: w for p, w in a.items() if w != INF}
+
+    def is_element(self, a: Any) -> bool:
+        if not isinstance(a, dict):
+            return False
+        for path, w in a.items():
+            if not isinstance(path, tuple) or len(path) == 0:
+                return False
+            if len(set(path)) != len(path):
+                return False
+            if not all(0 <= v < self.n for v in path):
+                return False
+            if w < 0 or (isinstance(w, float) and math.isnan(w)):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AllPaths(n={self.n})"

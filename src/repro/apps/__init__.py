@@ -1,0 +1,30 @@
+"""Applications of the metric tree embedding (Sections 9-10).
+
+- :mod:`repro.apps.kmedian` — Theorem 9.2: expected ``O(log k)``-approximate
+  k-median from a graph input (candidate sampling → FRT/HST embedding →
+  exact tree DP → map back).
+- :mod:`repro.apps.buyatbulk` — Theorem 10.2: expected
+  ``O(log n)``-approximate buy-at-bulk network design (route on the tree,
+  buy optimal cables per edge, map paths back to ``G``).
+"""
+
+from repro.apps.kmedian import KMedianResult, hst_kmedian_dp, kmedian, kmedian_cost
+from repro.apps.buyatbulk import (
+    BuyAtBulkResult,
+    CableType,
+    Demand,
+    buy_at_bulk,
+    cable_cost,
+)
+
+__all__ = [
+    "KMedianResult",
+    "kmedian",
+    "kmedian_cost",
+    "hst_kmedian_dp",
+    "BuyAtBulkResult",
+    "CableType",
+    "Demand",
+    "buy_at_bulk",
+    "cable_cost",
+]

@@ -1,0 +1,23 @@
+"""Distributed (Congest model) FRT constructions (Section 8).
+
+- :func:`~repro.congest.khan.khan_le_lists` — the Khan et al. [26]
+  algorithm: LE-list iteration with message-level round accounting;
+  ``O(SPD(G)·log n)`` rounds w.h.p. (Section 8.1).
+- :func:`~repro.congest.skeleton.skeleton_frt` — the skeleton-based
+  algorithm of Sections 8.2-8.3 (Theorem 8.1): sample a ``~sqrt(n)``-vertex
+  skeleton, build the simulated graph ``H_S`` on it, jump-start the LE-list
+  computation from the skeleton lists, finish with ``ℓ`` local iterations;
+  ``(sqrt(n) + D(G))·n^{o(1)}`` rounds.
+
+Substitution note (DESIGN.md §2): computations run centrally; *rounds* are
+charged by the exact protocol accounting of the paper (entries per edge per
+round for local iterations; pipelined broadcast ``items + D(G)`` rounds
+over a BFS tree for global phases).
+"""
+
+from repro.congest.model import RoundLedger
+from repro.congest.khan import khan_le_lists
+from repro.congest.skeleton import skeleton_frt
+from repro.congest.spanner_frt import spanner_frt
+
+__all__ = ["RoundLedger", "khan_le_lists", "skeleton_frt", "spanner_frt"]

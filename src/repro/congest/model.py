@@ -1,0 +1,58 @@
+"""Round accounting for the Congest model (Section 8 / Peleg [38]).
+
+In the Congest model a round lets every vertex send one ``O(log n)``-bit
+message (one index-distance pair) over each incident edge.  The
+:class:`RoundLedger` charges the two communication patterns the Section-8
+algorithms use:
+
+- :meth:`RoundLedger.local_exchange`: every node sends its (filtered) list
+  to all neighbours — ``max_v |list_v|`` rounds, since lists traverse each
+  edge entry-by-entry in parallel across edges;
+- :meth:`RoundLedger.broadcast`: ``k`` items are flooded through a BFS tree
+  of depth ``D`` with pipelining — ``k + D`` rounds;
+- :meth:`RoundLedger.bfs`: constructing the BFS tree itself — ``D`` rounds
+  (plus convergecast echoes, same order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundLedger"]
+
+
+@dataclass
+class RoundLedger:
+    """Accumulates Congest rounds with a per-phase trace."""
+
+    rounds: int = 0
+    phases: list[tuple[str, int]] = field(default_factory=list)
+
+    def charge(self, rounds: int, label: str) -> None:
+        """Charge an explicit number of rounds."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self.rounds += int(rounds)
+        self.phases.append((label, int(rounds)))
+
+    def local_exchange(self, max_list_length: int, label: str = "local-exchange") -> None:
+        """One iteration of list exchange with neighbours."""
+        self.charge(max(int(max_list_length), 1), label)
+
+    def broadcast(self, items: int, depth: int, label: str = "broadcast") -> None:
+        """Pipelined broadcast of ``items`` values over a depth-``depth`` tree."""
+        self.charge(int(items) + int(depth), label)
+
+    def bfs(self, depth: int, label: str = "bfs") -> None:
+        """BFS-tree construction (and echo) over hop diameter ``depth``."""
+        self.charge(2 * int(depth), label)
+
+    def breakdown(self) -> dict[str, int]:
+        """Total rounds per phase label."""
+        out: dict[str, int] = {}
+        for label, r in self.phases:
+            out[label] = out.get(label, 0) + r
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RoundLedger(rounds={self.rounds})"

@@ -1,0 +1,146 @@
+"""Top-level FRT embedding samplers (Theorem 7.9 / Corollary 7.10).
+
+Two samplers share the randomness conventions of Section 7.1 (uniform
+``β ∈ [1, 2)``, uniformly random vertex order):
+
+- :func:`sample_frt_tree`: LE lists directly on ``G`` — ``SPD(G)``
+  iterations; exact FRT distribution w.r.t. ``dist(·,·,G)``.
+- :func:`sample_frt_tree_via_oracle`: the paper's main pipeline —
+  hop set → simulated graph ``H`` → oracle → LE lists — polylog many
+  iterations; FRT distribution w.r.t. ``dist(·,·,H)``, which
+  ``(1+eps)^{O(log n)}``-approximates ``dist(·,·,G)`` (Theorem 4.5), so the
+  expected stretch w.r.t. ``G`` remains ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frt.lelists import compute_le_lists, compute_le_lists_via_oracle
+from repro.frt.tree import FRTTree, build_frt_tree
+from repro.graph.core import Graph
+from repro.hopsets.base import HopSetResult
+from repro.hopsets.rounded import rounded_hopset
+from repro.hopsets.skeleton import hub_hopset
+from repro.mbf.dense import FlatStates
+from repro.oracle.oracle import HOracle
+from repro.pram.cost import NULL_LEDGER, CostLedger
+from repro.util.rng import as_rng
+
+__all__ = ["EmbeddingResult", "sample_frt_tree", "sample_frt_tree_via_oracle"]
+
+
+@dataclass
+class EmbeddingResult:
+    """A sampled tree embedding plus provenance for verification.
+
+    ``iterations`` counts (outer) MBF-like iterations until the LE-list
+    fixpoint; for the oracle pipeline this is the ``O(log² n)`` quantity,
+    for the direct pipeline it is ``SPD``-scale.
+    """
+
+    tree: FRTTree
+    rank: np.ndarray
+    beta: float
+    le_lists: FlatStates
+    iterations: int
+    meta: dict = field(default_factory=dict)
+
+
+def _draw_randomness(n: int, rng) -> tuple[np.ndarray, float]:
+    g = as_rng(rng)
+    perm = g.permutation(n)
+    rank = np.empty(n, dtype=np.int64)
+    rank[perm] = np.arange(n)
+    beta = float(g.uniform(1.0, 2.0))
+    return rank, beta
+
+
+def sample_frt_tree(
+    G: Graph,
+    *,
+    rng=None,
+    rank: np.ndarray | None = None,
+    beta: float | None = None,
+    ledger: CostLedger = NULL_LEDGER,
+) -> EmbeddingResult:
+    """Sample an FRT tree of ``G`` via direct LE-list iteration.
+
+    Expected stretch ``O(log n)`` w.r.t. ``dist(·,·,G)`` [19]; uses
+    ``SPD(G)`` MBF iterations (the Khan-et-al. regime — efficient only for
+    small SPD).
+    """
+    if not G.is_connected():
+        raise ValueError("FRT embeddings require a connected graph")
+    g = as_rng(rng)
+    r, b = _draw_randomness(G.n, g)
+    if rank is not None:
+        r = np.asarray(rank, dtype=np.int64)
+    if beta is not None:
+        b = float(beta)
+    lists, iters = compute_le_lists(G, r, ledger=ledger)
+    wmin, _ = G.weight_bounds()
+    tree = build_frt_tree(lists, r, b, wmin)
+    return EmbeddingResult(
+        tree=tree, rank=r, beta=b, le_lists=lists, iterations=iters,
+        meta={"pipeline": "direct"},
+    )
+
+
+def sample_frt_tree_via_oracle(
+    G: Graph,
+    *,
+    eps: float = 0.25,
+    d0: int | None = None,
+    hopset: HopSetResult | None = None,
+    oracle: HOracle | None = None,
+    rng=None,
+    rank: np.ndarray | None = None,
+    beta: float | None = None,
+    ledger: CostLedger = NULL_LEDGER,
+) -> EmbeddingResult:
+    """Sample an FRT-style tree via the full Section 4-7 pipeline.
+
+    Steps: (1) hub hop set on ``G`` (exact, then rounded to granularity
+    ``eps`` — the stand-in for Cohen's construction, see DESIGN.md §2);
+    (2) simulated graph ``H`` with geometric levels (never materialized);
+    (3) LE lists of ``H`` through the oracle; (4) FRT tree from the lists.
+
+    The embedding dominates ``dist_G`` and has expected stretch
+    ``O((1+eps)^{Λ+1} log n)`` w.r.t. ``G``.  Pre-built ``hopset`` /
+    ``oracle`` objects may be supplied to amortize construction across
+    samples (levels are part of ``H``'s definition, not of the FRT
+    randomness, so reuse is sound).
+    """
+    if not G.is_connected():
+        raise ValueError("FRT embeddings require a connected graph")
+    g = as_rng(rng)
+    if oracle is None:
+        if hopset is None:
+            base = hub_hopset(G, d0, rng=g)
+            hopset = rounded_hopset(base, G, eps) if eps > 0 else base
+        oracle = HOracle(hopset, rng=g)
+    r, b = _draw_randomness(G.n, g)
+    if rank is not None:
+        r = np.asarray(rank, dtype=np.int64)
+    if beta is not None:
+        b = float(beta)
+    lists, iters = compute_le_lists_via_oracle(oracle, r, ledger=ledger)
+    wmin, _ = G.weight_bounds()
+    tree = build_frt_tree(lists, r, b, wmin)
+    return EmbeddingResult(
+        tree=tree,
+        rank=r,
+        beta=b,
+        le_lists=lists,
+        iterations=iters,
+        meta={
+            "pipeline": "oracle",
+            "hop_d": oracle.d,
+            "Lambda": oracle.Lambda,
+            "penalty_base": oracle.penalty_base,
+            "eps": eps,
+        },
+    )

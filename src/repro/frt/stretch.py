@@ -1,0 +1,108 @@
+"""Stretch evaluation for tree embeddings (Definition 7.1).
+
+A metric (tree) embedding must dominate (``dist_T ≥ dist_G`` for every
+pair) and have small *expected* stretch
+``max_{v≠w} E[dist_T(v,w)] / dist(v,w)`` over the embedding distribution.
+:func:`evaluate_stretch` estimates both over repeated samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.frt.tree import FRTTree
+from repro.graph.core import Graph
+from repro.graph.shortest_paths import dijkstra_distances
+from repro.util.rng import as_rng
+
+__all__ = ["StretchReport", "evaluate_stretch", "sample_pairs"]
+
+
+@dataclass
+class StretchReport:
+    """Stretch statistics over sampled trees and vertex pairs.
+
+    - ``dominating``: ``dist_T ≥ dist_G`` held for every sample and pair
+      (up to float tolerance) — must be True for a valid embedding;
+    - ``max_expected_stretch``: ``max_pair mean_tree(dist_T/dist_G)`` — the
+      Definition 7.1 quantity (finite-sample estimate);
+    - ``mean_stretch``: grand mean over pairs and trees;
+    - ``max_stretch_single``: worst single-tree pair stretch (may be large:
+      only the expectation is bounded);
+    - ``trees``, ``pairs``: sample sizes.
+    """
+
+    dominating: bool
+    max_expected_stretch: float
+    mean_stretch: float
+    max_stretch_single: float
+    trees: int
+    pairs: int
+
+    def expected_stretch_vs_log(self, n: int) -> float:
+        """``max_expected_stretch / log2(n)`` — the O(log n) constant."""
+        return self.max_expected_stretch / max(np.log2(n), 1.0)
+
+
+def sample_pairs(n: int, count: int | None, rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Sample distinct vertex pairs (all pairs when ``count`` is None/large)."""
+    g = as_rng(rng)
+    total = n * (n - 1) // 2
+    if count is None or count >= total:
+        iu, ju = np.triu_indices(n, k=1)
+        return iu.astype(np.int64), ju.astype(np.int64)
+    keys = g.choice(total, size=count, replace=False)
+    # Unrank upper-triangular indices.
+    iu = np.empty(count, dtype=np.int64)
+    ju = np.empty(count, dtype=np.int64)
+    for t, key in enumerate(keys):
+        # row i satisfies key < cumulative pairs up to row i.
+        i = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * key)) // 2)
+        offset = key - (i * (2 * n - i - 1)) // 2
+        iu[t] = i
+        ju[t] = i + 1 + offset
+    return iu, ju
+
+
+def evaluate_stretch(
+    G: Graph,
+    sampler: Callable[[], FRTTree],
+    *,
+    trees: int = 8,
+    pairs: int | None = None,
+    rng=None,
+    rtol: float = 1e-9,
+) -> StretchReport:
+    """Estimate embedding stretch of ``sampler()`` trees against ``G``.
+
+    ``sampler`` is called ``trees`` times; stretch is measured on ``pairs``
+    sampled vertex pairs (all pairs by default).
+    """
+    if trees < 1:
+        raise ValueError("need at least one tree")
+    g = as_rng(rng)
+    us, vs = sample_pairs(G.n, pairs, g)
+    DG = dijkstra_distances(G)
+    base = DG[us, vs]
+    if np.any(~np.isfinite(base)) or np.any(base <= 0):
+        raise ValueError("stretch undefined for disconnected pairs")
+    ratios = np.empty((trees, us.size))
+    dominating = True
+    for t in range(trees):
+        tree = sampler()
+        dT = tree.distances(us, vs)
+        if np.any(dT < base * (1.0 - rtol)):
+            dominating = False
+        ratios[t] = dT / base
+    exp_per_pair = ratios.mean(axis=0)
+    return StretchReport(
+        dominating=dominating,
+        max_expected_stretch=float(exp_per_pair.max()),
+        mean_stretch=float(ratios.mean()),
+        max_stretch_single=float(ratios.max()),
+        trees=trees,
+        pairs=int(us.size),
+    )

@@ -1,0 +1,250 @@
+"""FRT tree construction from LE lists (Section 7.1, Lemma 7.2).
+
+Given LE lists w.r.t. a random order and ``β ∈ [1, 2)``, vertex ``v``'s
+*decomposition sequence* is ``(v_0, v_1, ..., v_k)`` where
+
+    ``v_i = min-rank vertex within distance r_i = β · 2^i · scale`` of ``v``
+
+with ``scale = ω_min / 2`` (so ``r_0 < ω_min`` and ``v_0 = v``) and ``k``
+minimal with ``r_k ≥ max_v dist(v, v_min)`` (so ``v_k`` is the global
+min-rank vertex for everyone — a common root).  The tree's nodes are the
+distinct suffixes ``(v_i..v_k)``; the leaf of ``v`` is its full sequence.
+
+**Edge-weight convention** (see DESIGN.md §5): the edge from a level-``i``
+node to its parent weighs ``r_{i+1} = β·2^{i+1}·scale`` (the parent ball
+radius) rather than the paper's ``β·2^i``.  With the paper's weights,
+domination ``dist_T ≥ dist`` can fail by an additive ``2β·scale`` when two
+vertices share a level-``(i+1)`` center at distance ``≈ 2 r_{i+1}``; the
+doubled weights make domination unconditional (tested exhaustively) at the
+price of a factor ≤ 2 in expected stretch — still ``O(log n)``.
+
+Because all leaves sit at depth ``k`` and level-``i`` edges all share one
+weight, ``dist_T(u, v) = 2 · Σ_{j<ℓ} r_{j+1}`` where ``ℓ`` is the lowest
+level at which ``u``'s and ``v``'s suffixes coincide — tree distance
+queries are O(k) array comparisons and fully vectorizable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mbf.dense import FlatStates
+
+__all__ = ["FRTTree", "build_frt_tree"]
+
+
+@dataclass
+class FRTTree:
+    """A sampled FRT tree over vertices ``0..n-1``.
+
+    Structure arrays (``N`` = number of tree nodes, ``k`` = depth):
+
+    - ``level_ids[v, i]`` — the tree-node id of ``v``'s level-``i``
+      ancestor (``level_ids[v, 0]`` is ``v``'s leaf),
+    - ``parent[node]`` — parent node id (root: ``-1``),
+    - ``node_level[node]`` — level (leaves 0, root ``k``),
+    - ``node_leading[node]`` — the node's *leading vertex* ``v_i``,
+    - ``edge_weights[i]`` — weight of every level-``i`` → ``i+1`` edge,
+    - ``cum_weights[ℓ] = Σ_{j<ℓ} edge_weights[j]`` — leaf-to-level-``ℓ``
+      distance.
+    """
+
+    n: int
+    k: int
+    beta: float
+    scale: float
+    radii: np.ndarray  # (k+1,)
+    edge_weights: np.ndarray  # (k,)
+    cum_weights: np.ndarray  # (k+1,)
+    level_ids: np.ndarray  # (n, k+1)
+    parent: np.ndarray  # (N,)
+    node_level: np.ndarray  # (N,)
+    node_leading: np.ndarray  # (N,)
+
+    # -- basic structure -----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.parent.size)
+
+    @property
+    def root(self) -> int:
+        return int(self.level_ids[0, self.k])
+
+    def leaf_of(self, v: int) -> int:
+        """Tree-node id of vertex ``v``'s leaf."""
+        return int(self.level_ids[v, 0])
+
+    def children_lists(self) -> list[list[int]]:
+        """Adjacency ``children[node] -> [child ids]`` (leaves empty)."""
+        children: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for node, p in enumerate(self.parent):
+            if p >= 0:
+                children[p].append(node)
+        return children
+
+    def edge_weight_above(self, node: int) -> float:
+        """Weight of the edge from ``node`` to its parent."""
+        lvl = int(self.node_level[node])
+        if lvl >= self.k:
+            raise ValueError("the root has no parent edge")
+        return float(self.edge_weights[lvl])
+
+    # -- distances -------------------------------------------------------------
+
+    def lca_levels(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Lowest level at which each pair's ancestors coincide."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        eq = self.level_ids[us] == self.level_ids[vs]  # (P, k+1)
+        return np.argmax(eq, axis=1)
+
+    def distances(self, us, vs) -> np.ndarray:
+        """``dist_T(u, v)`` for paired vertex arrays (vectorized)."""
+        lvl = self.lca_levels(np.atleast_1d(us), np.atleast_1d(vs))
+        return 2.0 * self.cum_weights[lvl]
+
+    def distance(self, u: int, v: int) -> float:
+        """``dist_T(u, v)`` for a single pair."""
+        return float(self.distances([u], [v])[0])
+
+    def distance_matrix(self) -> np.ndarray:
+        """Dense ``(n, n)`` tree metric (verification-scale helper)."""
+        iu, ju = np.triu_indices(self.n, k=1)
+        d = self.distances(iu, ju)
+        out = np.zeros((self.n, self.n))
+        out[iu, ju] = d
+        out[ju, iu] = d
+        return out
+
+    # -- export -----------------------------------------------------------------
+
+    def to_networkx(self):
+        """Export the tree with ``weight`` attributes; leaves carry ``vertex``."""
+        import networkx as nx
+
+        t = nx.Graph()
+        for node in range(self.num_nodes):
+            t.add_node(node, level=int(self.node_level[node]),
+                       leading=int(self.node_leading[node]))
+        for node, p in enumerate(self.parent):
+            if p >= 0:
+                t.add_edge(node, int(p), weight=self.edge_weight_above(node))
+        for v in range(self.n):
+            t.nodes[self.leaf_of(v)]["vertex"] = v
+        return t
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FRTTree(n={self.n}, depth={self.k}, nodes={self.num_nodes}, "
+            f"beta={self.beta:.4f})"
+        )
+
+
+def build_frt_tree(
+    le_lists: FlatStates,
+    rank: np.ndarray,
+    beta: float,
+    wmin: float,
+) -> FRTTree:
+    """Construct the FRT tree from LE lists (Lemma 7.2).
+
+    Parameters
+    ----------
+    le_lists:
+        LE lists w.r.t. ``rank`` (entries per vertex in increasing-distance
+        order, as produced by the dense engine).  The distances may come
+        from ``G`` itself or from the simulated graph ``H``.
+    rank:
+        The random total order used for the lists.
+    beta:
+        The FRT radius multiplier, in ``[1, 2)``.
+    wmin:
+        A positive lower bound on the minimum pairwise distance (the
+        minimum edge weight of ``G`` suffices); level-0 balls then contain
+        only their center.
+    """
+    n = le_lists.n
+    rank = np.asarray(rank, dtype=np.int64)
+    if rank.shape != (n,):
+        raise ValueError("rank shape mismatch")
+    if not 1.0 <= beta < 2.0:
+        raise ValueError("beta must lie in [1, 2)")
+    if wmin <= 0:
+        raise ValueError("wmin must be positive")
+    counts = le_lists.counts()
+    if np.any(counts == 0):
+        raise ValueError("every vertex needs a non-empty LE list (connected input?)")
+
+    scale = wmin / 2.0
+    # Root distance: each list's last entry is the global min-rank vertex.
+    last_idx = le_lists.offsets[1:] - 1
+    root_dist = float(le_lists.dists[last_idx].max())
+    root_vertex = le_lists.ids[last_idx]
+    if np.unique(root_vertex).size != 1:
+        raise ValueError("LE lists are not at their fixpoint (no common root)")
+    if root_dist <= 0:  # single-vertex graph
+        k = 1
+    else:
+        k = max(1, math.ceil(math.log2(root_dist / (beta * scale))))
+    radii = beta * scale * np.power(2.0, np.arange(k + 1))
+    # levels: labels[v, i] = v_i = id of the last list entry with dist <= r_i.
+    labels = np.empty((n, k + 1), dtype=np.int64)
+    for v in range(n):
+        ids, dists = le_lists.node(v)
+        # entries sorted ascending by dist; staircase → ranks descending.
+        pos = np.searchsorted(dists, radii, side="right") - 1
+        if pos[0] < 0:
+            raise ValueError(f"vertex {v} lacks its own 0-distance entry")
+        labels[v] = ids[pos]
+    if not np.array_equal(labels[:, 0], np.arange(n)):
+        raise ValueError(
+            "level-0 centers are not the vertices themselves; "
+            "wmin is not a lower bound on pairwise distances"
+        )
+
+    # Assign global node ids per suffix, root-down.  suffix_key holds the
+    # node id of (v_i..v_k) per vertex; combining with labels[:, i-1]
+    # identifies the level-(i-1) suffixes.
+    level_ids = np.empty((n, k + 1), dtype=np.int64)
+    node_parent_chunks: list[np.ndarray] = []
+    node_level_chunks: list[np.ndarray] = []
+    node_leading_chunks: list[np.ndarray] = []
+    next_id = 0
+    # Level k (root).
+    uniq, inv = np.unique(labels[:, k], return_inverse=True)
+    level_ids[:, k] = next_id + inv
+    node_parent_chunks.append(np.full(uniq.size, -1, dtype=np.int64))
+    node_level_chunks.append(np.full(uniq.size, k, dtype=np.int64))
+    node_leading_chunks.append(uniq.astype(np.int64))
+    next_id += uniq.size
+    for i in range(k - 1, -1, -1):
+        combo = level_ids[:, i + 1] * (n + 1) + labels[:, i]
+        uniq, first, inv = np.unique(combo, return_index=True, return_inverse=True)
+        level_ids[:, i] = next_id + inv
+        node_parent_chunks.append(level_ids[first, i + 1])
+        node_level_chunks.append(np.full(uniq.size, i, dtype=np.int64))
+        node_leading_chunks.append(labels[first, i])
+        next_id += uniq.size
+
+    parent = np.concatenate(node_parent_chunks)
+    node_level = np.concatenate(node_level_chunks)
+    node_leading = np.concatenate(node_leading_chunks)
+    edge_weights = radii[1:]
+    cum_weights = np.concatenate([[0.0], np.cumsum(edge_weights)])
+    return FRTTree(
+        n=n,
+        k=k,
+        beta=float(beta),
+        scale=scale,
+        radii=radii,
+        edge_weights=edge_weights,
+        cum_weights=cum_weights,
+        level_ids=level_ids,
+        parent=parent,
+        node_level=node_level,
+        node_leading=node_leading,
+    )

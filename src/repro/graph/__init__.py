@@ -1,0 +1,26 @@
+"""Weighted undirected graphs, generators, and distance computations.
+
+The paper's conventions (Section 1.2) apply throughout: graphs are
+connected, undirected, loop-free, without parallel edges, with positive edge
+weights whose max/min ratio is polynomially bounded.
+"""
+
+from repro.graph.core import Graph
+from repro.graph.shortest_paths import (
+    dijkstra_distances,
+    hop_diameter,
+    hop_limited_distances,
+    min_hop_of_shortest_path,
+    shortest_path_diameter,
+)
+from repro.graph import generators
+
+__all__ = [
+    "Graph",
+    "generators",
+    "dijkstra_distances",
+    "hop_limited_distances",
+    "shortest_path_diameter",
+    "hop_diameter",
+    "min_hop_of_shortest_path",
+]

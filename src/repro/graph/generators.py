@@ -1,0 +1,266 @@
+"""Graph generators for tests, examples, and benchmarks.
+
+All generators return connected :class:`~repro.graph.core.Graph` instances
+with strictly positive weights, and accept a seedable ``rng``.  The families
+are chosen to stress the quantities the paper cares about:
+
+- ``cycle`` / ``path``: ``SPD(G) = Θ(n)`` — worst case for plain MBF,
+  showcase for the simulated graph ``H``;
+- ``grid``: ``SPD = Θ(sqrt n)``, geometric structure;
+- ``random_graph`` (G(n, m)): low diameter, the generic benchmark family;
+- ``random_regular``: expander-like, the Ω(log n) stretch lower-bound family
+  for tree embeddings [7];
+- ``lower_bound_instance``: the paper's footnote-2 Ω(m)-work instance;
+- ``weighted_tree``: tree metrics (stretch should be ~1 on re-embedding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.core import Graph
+from repro.util.rng import as_rng
+
+__all__ = [
+    "cycle",
+    "path_graph",
+    "grid",
+    "random_graph",
+    "random_regular",
+    "weighted_tree",
+    "star",
+    "complete_graph",
+    "lower_bound_instance",
+    "cycle_with_hub",
+    "barbell",
+]
+
+
+def _rand_weights(rng: np.random.Generator, m: int, wmin: float, wmax: float) -> np.ndarray:
+    """Uniform weights in ``[wmin, wmax]`` (polynomially bounded ratio)."""
+    if not 0 < wmin <= wmax:
+        raise ValueError("need 0 < wmin <= wmax")
+    return rng.uniform(wmin, wmax, size=m)
+
+
+def cycle(n: int, *, wmin: float = 1.0, wmax: float = 1.0, rng=None) -> Graph:
+    """Cycle ``C_n`` — the canonical high-SPD instance (SPD ≈ n/2)."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    g = as_rng(rng)
+    e = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+    return Graph(n, e, _rand_weights(g, n, wmin, wmax), validate=False)
+
+
+def path_graph(n: int, *, wmin: float = 1.0, wmax: float = 1.0, rng=None) -> Graph:
+    """Path ``P_n`` — SPD exactly ``n - 1``."""
+    if n < 2:
+        raise ValueError("path needs n >= 2")
+    g = as_rng(rng)
+    e = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+    return Graph(n, e, _rand_weights(g, n - 1, wmin, wmax), validate=False)
+
+
+def grid(rows: int, cols: int, *, wmin: float = 1.0, wmax: float = 1.0, rng=None) -> Graph:
+    """``rows × cols`` grid graph."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid needs at least 2 vertices")
+    g = as_rng(rng)
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    horiz = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1)
+    vert = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1)
+    e = np.concatenate([horiz, vert], axis=0)
+    return Graph(rows * cols, e, _rand_weights(g, e.shape[0], wmin, wmax), validate=False)
+
+
+def weighted_tree(n: int, *, wmin: float = 1.0, wmax: float = 4.0, rng=None) -> Graph:
+    """Random recursive tree: vertex ``i`` attaches to a uniform ``j < i``."""
+    if n < 2:
+        raise ValueError("tree needs n >= 2")
+    g = as_rng(rng)
+    parents = np.array([g.integers(0, i) for i in range(1, n)], dtype=np.int64)
+    e = np.stack([parents, np.arange(1, n)], axis=1)
+    return Graph(n, e, _rand_weights(g, n - 1, wmin, wmax), validate=False)
+
+
+def star(n: int, *, wmin: float = 1.0, wmax: float = 1.0, rng=None) -> Graph:
+    """Star ``K_{1,n-1}`` centered at vertex 0 (SPD = 2)."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    g = as_rng(rng)
+    e = np.stack([np.zeros(n - 1, dtype=np.int64), np.arange(1, n)], axis=1)
+    return Graph(n, e, _rand_weights(g, n - 1, wmin, wmax), validate=False)
+
+
+def complete_graph(n: int, *, wmin: float = 1.0, wmax: float = 4.0, rng=None) -> Graph:
+    """Complete graph ``K_n`` with random weights (a metric-like input)."""
+    if n < 2:
+        raise ValueError("complete graph needs n >= 2")
+    g = as_rng(rng)
+    iu, ju = np.triu_indices(n, k=1)
+    e = np.stack([iu, ju], axis=1)
+    return Graph(n, e, _rand_weights(g, e.shape[0], wmin, wmax), validate=False)
+
+
+def random_graph(
+    n: int,
+    m: int | None = None,
+    *,
+    wmin: float = 1.0,
+    wmax: float = 4.0,
+    rng=None,
+) -> Graph:
+    """Connected Erdős–Rényi-style ``G(n, m)``.
+
+    A uniform spanning structure (random recursive tree) guarantees
+    connectivity; the remaining ``m - (n-1)`` edges are sampled uniformly
+    without replacement from the non-tree pairs.
+    """
+    g = as_rng(rng)
+    if n < 2:
+        raise ValueError("random_graph needs n >= 2")
+    if m is None:
+        m = min(3 * n, n * (n - 1) // 2)
+    max_m = n * (n - 1) // 2
+    if not n - 1 <= m <= max_m:
+        raise ValueError(f"m must be in [n-1, n(n-1)/2] = [{n - 1}, {max_m}]")
+    parents = np.array([g.integers(0, i) for i in range(1, n)], dtype=np.int64)
+    tree_lo = np.minimum(parents, np.arange(1, n))
+    tree_hi = np.maximum(parents, np.arange(1, n))
+    tree_keys = set((tree_lo * n + tree_hi).tolist())
+    extra_needed = m - (n - 1)
+    extra_keys: set[int] = set()
+    # Rejection sampling; for dense requests fall back to explicit enumeration.
+    if extra_needed > 0:
+        if m > max_m // 2:
+            iu, ju = np.triu_indices(n, k=1)
+            all_keys = iu * n + ju
+            mask = ~np.isin(all_keys, np.fromiter(tree_keys, dtype=np.int64))
+            pool = all_keys[mask]
+            chosen = g.choice(pool, size=extra_needed, replace=False)
+            extra_keys = set(int(k) for k in chosen)
+        else:
+            while len(extra_keys) < extra_needed:
+                u = int(g.integers(0, n))
+                v = int(g.integers(0, n))
+                if u == v:
+                    continue
+                key = min(u, v) * n + max(u, v)
+                if key in tree_keys or key in extra_keys:
+                    continue
+                extra_keys.add(key)
+    keys = np.concatenate(
+        [tree_lo * n + tree_hi, np.fromiter(extra_keys, dtype=np.int64, count=len(extra_keys))]
+    )
+    e = np.stack([keys // n, keys % n], axis=1)
+    return Graph(n, e, _rand_weights(g, e.shape[0], wmin, wmax), validate=False)
+
+
+def random_regular(
+    n: int, d: int = 4, *, wmin: float = 1.0, wmax: float = 1.0, rng=None
+) -> Graph:
+    """Random ``d``-regular graph (expander w.h.p.) via networkx.
+
+    Expanders witness the Ω(log n) lower bound on expected tree-embedding
+    stretch [7]; used in the stretch experiments.
+    """
+    import networkx as nx
+
+    g = as_rng(rng)
+    if n * d % 2 != 0:
+        raise ValueError("n*d must be even for a d-regular graph")
+    if d >= n:
+        raise ValueError("need d < n")
+    for attempt in range(20):
+        seed = int(g.integers(0, 2**31 - 1))
+        nxg = nx.random_regular_graph(d, n, seed=seed)
+        if nx.is_connected(nxg):
+            e = np.array(list(nxg.edges()), dtype=np.int64)
+            return Graph(n, e, _rand_weights(g, e.shape[0], wmin, wmax), validate=False)
+    raise RuntimeError("failed to sample a connected regular graph")
+
+
+def lower_bound_instance(
+    n: int, m: int, *, heavy_weight: float | None = None, rng=None
+) -> tuple[Graph, int | None]:
+    """The paper's footnote-2 Ω(m)-work lower-bound instance.
+
+    Partition ``V = A ∪ B`` evenly, add unit-weight spanning paths inside
+    ``A`` and ``B``, connect them with ``m - n + 2`` heavy edges of weight
+    ``W ≫ n log n``, and with probability 1/2 turn one uniformly chosen
+    connector light (weight 1).
+
+    Returns ``(G, light_index)`` where ``light_index`` is the index (into
+    ``G.edges``) of the light connector, or ``None`` if no connector was
+    lightened.  Any algorithm approximating ``dist(a, b)`` across the cut
+    better than factor ``W / n`` must examine Ω(m) edges in expectation.
+    """
+    g = as_rng(rng)
+    if n < 4 or n % 2:
+        raise ValueError("need even n >= 4")
+    half = n // 2
+    k = m - n + 2
+    if k < 1 or k > half * half:
+        raise ValueError("m out of range for the lower-bound construction")
+    if heavy_weight is None:
+        heavy_weight = float(n) * max(np.log2(n), 1.0) * 10.0
+    a_path = np.stack([np.arange(half - 1), np.arange(1, half)], axis=1)
+    b_path = a_path + half
+    # Sample k distinct (a, b) connector pairs.
+    pool = g.choice(half * half, size=k, replace=False)
+    conn = np.stack([pool // half, half + pool % half], axis=1)
+    e = np.concatenate([a_path, b_path, conn], axis=0)
+    w = np.concatenate(
+        [
+            np.ones(a_path.shape[0]),
+            np.ones(b_path.shape[0]),
+            np.full(k, heavy_weight),
+        ]
+    )
+    light_index: int | None = None
+    if g.random() < 0.5:
+        j = int(g.integers(0, k))
+        light_index = a_path.shape[0] + b_path.shape[0] + j
+        w[light_index] = 1.0
+    return Graph(n, e, w, validate=False), light_index
+
+
+def cycle_with_hub(n: int, *, heavy_factor: float = 4.0, rng=None) -> Graph:
+    """Unit-weight cycle plus a hub joined to every vertex by heavy edges.
+
+    The canonical ``D(G) ≪ SPD(G)`` instance (Section 8's target regime):
+    hop diameter 2, but shortest paths stay on the cycle (hub edges weigh
+    ``heavy_factor·n``, so any hub detour costs ``2·heavy_factor·n > n/2``),
+    hence ``SPD = n/2``.  Returns a graph on ``n + 1`` vertices (hub last).
+    """
+    if n < 3:
+        raise ValueError("cycle_with_hub needs n >= 3")
+    if heavy_factor <= 0.5:
+        raise ValueError("heavy_factor must exceed 0.5 to keep SPD = n/2")
+    ring = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+    spokes = np.stack([np.full(n, n, dtype=np.int64), np.arange(n)], axis=1)
+    e = np.concatenate([ring, spokes], axis=0)
+    w = np.concatenate([np.ones(n), np.full(n, heavy_factor * n)])
+    return Graph(n + 1, e, w, validate=False)
+
+
+def barbell(k: int, bridge_len: int = 1, *, rng=None) -> Graph:
+    """Two ``K_k`` cliques joined by a path of ``bridge_len`` unit edges.
+
+    A classic bad case for cut-based methods; useful for k-median sanity
+    checks (two obvious clusters).
+    """
+    if k < 3:
+        raise ValueError("barbell needs k >= 3")
+    g = as_rng(rng)
+    n = 2 * k + max(bridge_len - 1, 0)
+    iu, ju = np.triu_indices(k, k=1)
+    left = np.stack([iu, ju], axis=1)
+    right = left + k
+    bridge_nodes = np.concatenate(
+        [[k - 1], np.arange(2 * k, 2 * k + max(bridge_len - 1, 0)), [k]]
+    )
+    bridge = np.stack([bridge_nodes[:-1], bridge_nodes[1:]], axis=1)
+    e = np.concatenate([left, right, bridge], axis=0)
+    w = np.ones(e.shape[0])
+    return Graph(n, e, w, validate=False)

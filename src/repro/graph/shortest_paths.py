@@ -1,0 +1,202 @@
+"""Distance computations: exact, hop-limited, SPD, hop diameter.
+
+Implements the quantities of Section 1.2:
+
+- ``dist(v, w, G)`` — exact distances (SciPy Dijkstra, the sequential
+  ground truth),
+- ``dist^h(v, w, G)`` — *h-hop distances*: minimum weight over paths with at
+  most ``h`` edges, via vectorized Moore-Bellman-Ford,
+- ``SPD(G)`` — the shortest path diameter: maximum over pairs of the minimum
+  hop count of a shortest path (the number of MBF iterations to fixpoint),
+- ``D(G)`` — the unweighted hop diameter,
+- ``hop(v, ·, G)`` — per-source min-hop-of-shortest-path vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
+
+from repro.graph.core import Graph
+
+__all__ = [
+    "dijkstra_distances",
+    "hop_limited_distances",
+    "shortest_path_diameter",
+    "hop_diameter",
+    "min_hop_of_shortest_path",
+    "grouped_inedges",
+]
+
+_REL_TOL = 1e-9
+
+
+def dijkstra_distances(G: Graph, sources=None) -> np.ndarray:
+    """Exact distances ``dist(s, v, G)`` for ``s`` in ``sources``.
+
+    Returns an ``(|sources|, n)`` float array (``inf`` for unreachable).
+    ``sources=None`` means all vertices (full APSP ground truth).
+    """
+    A = G.adjacency()
+    if sources is None:
+        return _csgraph_dijkstra(A, directed=False)
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    return _csgraph_dijkstra(A, directed=False, indices=sources)
+
+
+def grouped_inedges(G: Graph) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Directed edges grouped by target, for reduceat-style aggregation.
+
+    Returns ``(src, dst_unique, starts, w)`` where the directed edges sorted
+    by target are ``(src[i] -> ·, w[i])`` and the block of edges entering
+    ``dst_unique[j]`` is ``src[starts[j] : starts[j+1]]`` (with an implicit
+    final boundary at the end).
+    """
+    s, d, w = G.directed_edges()
+    order = np.argsort(d, kind="stable")
+    s, d, w = s[order], d[order], w[order]
+    dst_unique, starts = np.unique(d, return_index=True)
+    return s, dst_unique, starts, w
+
+
+def hop_limited_distances(
+    G: Graph,
+    h: int,
+    sources=None,
+    *,
+    block: int = 128,
+) -> np.ndarray:
+    """``dist^h(s, v, G)`` for each ``s`` in ``sources`` — vectorized MBF.
+
+    This is the distance product ``A^h x^(0)`` over the min-plus semiring
+    (Lemma 3.1), computed as ``h`` rounds of edge relaxations.  Sources are
+    processed in blocks of ``block`` rows to bound the ``(block, 2m)``
+    scratch matrix.
+
+    Returns an ``(|sources|, n)`` array; ``dist^0`` is 0 on the diagonal and
+    ``inf`` elsewhere.
+    """
+    if h < 0:
+        raise ValueError("h must be non-negative")
+    n = G.n
+    if sources is None:
+        sources = np.arange(n, dtype=np.int64)
+    else:
+        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    src, dst_unique, starts, w = grouped_inedges(G)
+    out = np.full((sources.size, n), np.inf)
+    for lo in range(0, sources.size, block):
+        hi = min(lo + block, sources.size)
+        blk = sources[lo:hi]
+        D = np.full((blk.size, n), np.inf)
+        D[np.arange(blk.size), blk] = 0.0
+        for _ in range(h):
+            if src.size:
+                cand = D[:, src] + w[None, :]
+                best = np.minimum.reduceat(cand, starts, axis=1)
+                D[:, dst_unique] = np.minimum(D[:, dst_unique], best)
+        out[lo:hi] = D
+    return out
+
+
+def shortest_path_diameter(G: Graph, *, max_h: int | None = None, block: int = 128) -> int:
+    """``SPD(G)``: iterations of all-sources MBF until a fixpoint.
+
+    ``SPD(G) = max_{v,w} hop(v, w, G)`` equals the smallest ``h`` with
+    ``dist^h = dist`` (= ``dist^n``).  We iterate the relaxation and stop at
+    the first stable round, tracking the max over source blocks.
+
+    Raises ``ValueError`` if ``G`` is disconnected (SPD undefined) or the
+    ``max_h`` cap is exceeded.
+    """
+    n = G.n
+    if max_h is None:
+        max_h = n
+    src, dst_unique, starts, w = grouped_inedges(G)
+    if src.size == 0:
+        if n == 1:
+            return 0
+        raise ValueError("SPD undefined for disconnected graphs")
+    spd = 0
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        blk = np.arange(lo, hi, dtype=np.int64)
+        D = np.full((blk.size, n), np.inf)
+        D[np.arange(blk.size), blk] = 0.0
+        h = 0
+        while True:
+            cand = D[:, src] + w[None, :]
+            best = np.minimum.reduceat(cand, starts, axis=1)
+            new_block = np.minimum(D[:, dst_unique], best)
+            changed = bool(np.any(new_block < D[:, dst_unique]))
+            D[:, dst_unique] = new_block
+            if not changed:
+                break
+            h += 1
+            if h > max_h:
+                raise ValueError("SPD exceeds max_h (disconnected graph?)")
+        if np.any(np.isinf(D)):
+            raise ValueError("SPD undefined for disconnected graphs")
+        spd = max(spd, h)
+    return spd
+
+
+def hop_diameter(G: Graph) -> int:
+    """``D(G)``: the unweighted hop diameter (max BFS eccentricity)."""
+    A = G.adjacency()
+    ones = sp.csr_matrix(
+        (np.ones_like(A.data), A.indices, A.indptr), shape=A.shape
+    )
+    D = _csgraph_shortest_path(ones, method="D", directed=False, unweighted=True)
+    if np.any(np.isinf(D)):
+        raise ValueError("hop diameter undefined for disconnected graphs")
+    return int(D.max())
+
+
+def min_hop_of_shortest_path(G: Graph, source: int) -> np.ndarray:
+    """``hop(source, v, G)`` for all ``v``: min hops over shortest paths.
+
+    Computed by a single pass over the *tight-edge DAG*: an edge ``u -> v``
+    is tight iff ``dist[u] + ω(u,v) = dist[v]`` (up to a relative float
+    tolerance); processing vertices in increasing distance order gives each
+    vertex the minimum predecessor hop count + 1.
+
+    Returns an ``(n,)`` int array; unreachable vertices get ``-1``.
+    """
+    n = G.n
+    dist = dijkstra_distances(G, [source])[0]
+    hops = np.full(n, -1, dtype=np.int64)
+    hops[source] = 0
+    src, dst, w = G.directed_edges()
+    if src.size == 0:
+        return hops
+    finite_mask = np.isfinite(dist[src]) & np.isfinite(dist[dst])
+    tol = _REL_TOL * np.maximum(1.0, np.abs(dist[dst][finite_mask]))
+    tight = np.zeros(src.size, dtype=bool)
+    tight[finite_mask] = (
+        np.abs(dist[src][finite_mask] + w[finite_mask] - dist[dst][finite_mask]) <= tol
+    )
+    ts, td = src[tight], dst[tight]
+    # Group tight in-edges by target.
+    order = np.argsort(td, kind="stable")
+    ts, td = ts[order], td[order]
+    boundaries = np.flatnonzero(np.diff(td)) + 1
+    groups = np.split(np.arange(td.size), boundaries)
+    in_edges: dict[int, np.ndarray] = {}
+    for grp in groups:
+        if grp.size:
+            in_edges[int(td[grp[0]])] = ts[grp]
+    for v in np.argsort(dist, kind="stable"):
+        v = int(v)
+        if v == source or not np.isfinite(dist[v]):
+            continue
+        preds = in_edges.get(v)
+        if preds is None:
+            continue
+        ph = hops[preds]
+        valid = ph >= 0
+        if np.any(valid):
+            hops[v] = int(ph[valid].min()) + 1
+    return hops

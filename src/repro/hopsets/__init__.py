@@ -1,0 +1,49 @@
+"""(d, eps)-hop sets (Equation 1.3 / Section 1.2).
+
+``G`` contains a ``(d, eps)``-hop set if ``dist^d(v, w, G) <= (1+eps) *
+dist(v, w, G)`` for all pairs — i.e. ``d``-hop-limited distances already
+``(1+eps)``-approximate true distances.
+
+The paper plugs in Cohen's construction [13] (polylog ``d``, near-linear
+work); its theorems are stated for *arbitrary* ``(d, eps)``-hop sets
+(Theorems 5.2, 7.9).  Per the substitution policy (DESIGN.md §2), this
+package provides self-contained constructions:
+
+- :func:`~repro.hopsets.identity.identity_hopset` — no extra edges;
+  ``d = SPD(G)``, ``eps = 0`` (the degenerate baseline),
+- :func:`~repro.hopsets.exact_closure.exact_closure_hopset` — the full
+  metric clique; ``d = 1``, ``eps = 0`` (the Blelloch-et-al. "metric input"
+  model, Ω(n²) edges),
+- :func:`~repro.hopsets.skeleton.hub_hopset` — hub sampling in the style of
+  Ullman-Yannakakis: w.h.p. an exact ``(2·d0+1, 0)``-hop set with
+  ``O~(n²/d0²)`` extra edges,
+- :func:`~repro.hopsets.rounded.rounded_hopset` — wraps another
+  construction and rounds shortcut weights up to powers of ``(1+eps)``,
+  yielding a genuine ``(d, eps)``-hop set whose ``d``-hop distances violate
+  the triangle inequality (the Observation 1.1 obstacle that the simulated
+  graph ``H`` of Section 4 repairs).
+
+All constructions return a :class:`~repro.hopsets.base.HopSetResult`;
+:func:`~repro.hopsets.verify.verify_hopset` measures the achieved
+``(d, eps)`` guarantee empirically.
+"""
+
+from repro.hopsets.base import HopSetResult
+from repro.hopsets.exact_closure import exact_closure_hopset
+from repro.hopsets.identity import identity_hopset
+from repro.hopsets.rounded import rounded_hopset
+from repro.hopsets.skeleton import hub_hopset
+from repro.hopsets.verify import (
+    count_triangle_violations,
+    verify_hopset,
+)
+
+__all__ = [
+    "HopSetResult",
+    "identity_hopset",
+    "exact_closure_hopset",
+    "hub_hopset",
+    "rounded_hopset",
+    "verify_hopset",
+    "count_triangle_violations",
+]

@@ -1,0 +1,33 @@
+"""The trivial hop set: no extra edges, ``d = SPD(G)``.
+
+Useful as a baseline: every graph trivially contains an ``(SPD(G), 0)``-hop
+set (and, degenerately, an ``(n-1, 0)``-hop set).  Running the oracle on top
+of this recovers the Khan-et-al. behaviour of Θ(SPD) iterations.
+"""
+
+from __future__ import annotations
+
+from repro.graph.core import Graph
+from repro.graph.shortest_paths import shortest_path_diameter
+from repro.hopsets.base import HopSetResult
+
+__all__ = ["identity_hopset"]
+
+
+def identity_hopset(G: Graph, *, d: int | None = None) -> HopSetResult:
+    """Return ``G`` unchanged as an ``(SPD(G), 0)``-hop set.
+
+    Parameters
+    ----------
+    d:
+        Optional explicit hop bound; defaults to the measured ``SPD(G)``
+        (costs one all-sources MBF fixpoint computation).  Pass ``n - 1`` to
+        skip that measurement.
+    """
+    if d is None:
+        d = max(1, shortest_path_diameter(G))
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    return HopSetResult(
+        graph=G, d=int(d), eps=0.0, extra_edges=0, meta={"construction": "identity"}
+    )

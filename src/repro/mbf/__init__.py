@@ -1,0 +1,40 @@
+"""The MBF-like algorithm framework (Section 2) and algorithm zoo (Section 3).
+
+An *MBF-like algorithm* (Definition 2.11) is a triple of
+
+1. a zero-preserving semimodule ``M`` over a semiring ``S``,
+2. a representative projection (filter) ``r : M -> M`` of a congruence
+   relation on ``M``,
+3. initial node states ``x^(0) ∈ M^V``,
+
+iterated as ``x^(i+1) = r^V A x^(i)`` where ``A`` is the graph's adjacency
+matrix over ``S``.  Corollary 2.17 (``r^V ~ id``) guarantees filters can be
+applied after any subset of iterations without changing the (equivalence
+class of the) result — the engine exploits this.
+
+Two engines are provided:
+
+- :mod:`repro.mbf.engine` — the *reference engine*: works for any semiring /
+  semimodule / filter, object-based, used for the Section 3 zoo and as a
+  correctness oracle in tests.
+- :mod:`repro.mbf.dense` — the *flat engine*: vectorized NumPy implementation
+  of distance-map states (semimodule ``D``) with the three filters the core
+  results need (min-dedup / source-detection top-k / LE lists), instrumented
+  with the work/depth ledger.  This is what the oracle (Section 5) and the
+  FRT pipeline (Section 7) run on.
+"""
+
+from repro.mbf.algorithm import MBFAlgorithm
+from repro.mbf.engine import iterate, run, run_to_fixpoint
+from repro.mbf import filters, zoo
+from repro.mbf.dense import FlatStates
+
+__all__ = [
+    "MBFAlgorithm",
+    "iterate",
+    "run",
+    "run_to_fixpoint",
+    "filters",
+    "zoo",
+    "FlatStates",
+]

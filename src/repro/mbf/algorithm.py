@@ -1,0 +1,62 @@
+"""The :class:`MBFAlgorithm` specification (Definition 2.11).
+
+An MBF-like algorithm is fully determined by a semimodule, a representative
+projection (filter), and the adjacency-matrix convention of its semiring.
+The adjacency entry convention varies per semiring (Equations 1.4, 3.9,
+3.18, 3.28): the diagonal is always the multiplicative neutral ``one``
+(information stays in place for free) while the entry for an edge ``{v, u}``
+is produced by :attr:`MBFAlgorithm.edge_entry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.algebra.semimodule import Semimodule
+
+__all__ = ["MBFAlgorithm", "min_plus_edge_entry"]
+
+
+def min_plus_edge_entry(target: int, source: int, weight: float) -> float:
+    """Equation (1.4): the min-plus adjacency entry is the edge weight."""
+    return weight
+
+
+@dataclass
+class MBFAlgorithm:
+    """Specification of an MBF-like algorithm.
+
+    Parameters
+    ----------
+    module:
+        The zero-preserving semimodule ``M`` the node states live in.
+    filter:
+        The representative projection ``r : M -> M`` applied node-wise after
+        every iteration.  Must satisfy the congruence conditions of
+        Lemma 2.8 (verified for the built-ins by the test suite).
+    edge_entry:
+        Maps ``(target, source, weight)`` to the adjacency entry
+        ``a_{target,source} ∈ S`` for the edge ``{target, source}``.
+        Defaults to the min-plus convention (the weight itself).
+    name:
+        Cosmetic label for reports.
+    """
+
+    module: Semimodule
+    filter: Callable[[Any], Any] = field(default=lambda x: x)
+    edge_entry: Callable[[int, int, float], Any] = field(default=min_plus_edge_entry)
+    name: str = "mbf-like"
+
+    def filter_vector(self, states: list) -> list:
+        """Apply ``r`` component-wise (the paper's ``r^V``)."""
+        return [self.filter(x) for x in states]
+
+    def states_equal(self, xs: list, ys: list) -> bool:
+        """Vector equality under the module's (canonical) equality."""
+        if len(xs) != len(ys):
+            return False
+        return all(self.module.eq(x, y) for x, y in zip(xs, ys))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MBFAlgorithm({self.name!r}, module={self.module!r})"

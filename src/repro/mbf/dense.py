@@ -1,0 +1,419 @@
+"""Vectorized MBF iterations for distance-map states (semimodule ``D``).
+
+This is the "production" engine behind the core results.  Node states are
+sparse distance maps stored *flat*: all entries of all nodes in three parallel
+arrays plus per-node offsets (CSR layout).  One MBF iteration is
+
+1. **propagate**  — every directed edge ``u -> v`` of weight ``w`` emits a
+   copy of ``u``'s entries shifted by ``w`` and addressed to ``v``; every node
+   additionally emits its own entries to itself (the diagonal ``a_vv = 0``);
+2. **aggregate + filter** — one global lexsort groups entries by target and
+   a vectorized filter keeps the representative sub-list per node.
+
+Costs are charged to a :class:`~repro.pram.cost.CostLedger` following
+Lemma 2.3 (aggregation of lists via parallel sorting: ``O(Σ|x_i| log n)``
+work, ``O(log n)`` depth) so benchmarks can report paper-model work/depth.
+
+Supported filters (all congruence-compatible, see ``tests/test_dense.py``
+for the equivalence with the reference engine):
+
+- ``"min"`` — per (target, id) keep the minimum distance (identity filter
+  on canonical representations; used by APSP / MSSP),
+- ``("topk", k, dmax, source_mask)`` — source detection (Example 3.2),
+- ``("le", rank)`` — least-element lists (Definition 7.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.core import Graph
+from repro.pram.cost import NULL_LEDGER, CostLedger
+
+INF = math.inf
+
+__all__ = [
+    "FlatStates",
+    "FilterSpec",
+    "MinFilter",
+    "TopKFilter",
+    "LEFilter",
+    "propagate",
+    "aggregate",
+    "dense_iteration",
+    "run_dense",
+]
+
+
+@dataclass
+class FlatStates:
+    """CSR-layout sparse distance maps for all ``n`` nodes.
+
+    ``ids[offsets[v]:offsets[v+1]]`` are the map keys (vertex ids) of node
+    ``v``'s state and ``dists[...]`` the corresponding finite distances.
+    Entries within a node are kept in the order the producing filter emits
+    (deterministic), so two ``FlatStates`` are comparable array-wise.
+    """
+
+    n: int
+    offsets: np.ndarray  # (n+1,) int64
+    ids: np.ndarray  # (total,) int64
+    dists: np.ndarray  # (total,) float64
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, n: int, sources: Iterable[int] | None = None) -> "FlatStates":
+        """The canonical initialization ``x^(0)``: ``{v: 0}`` for sources.
+
+        ``sources=None`` means every vertex is a source (Equation 3.1).
+        """
+        if sources is None:
+            src = np.arange(n, dtype=np.int64)
+        else:
+            src = np.unique(np.asarray(list(sources), dtype=np.int64))
+            if src.size and (src.min() < 0 or src.max() >= n):
+                raise ValueError("source out of range")
+        counts = np.zeros(n, dtype=np.int64)
+        counts[src] = 1
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return cls(n, offsets, src.copy(), np.zeros(src.size))
+
+    @classmethod
+    def from_dicts(cls, dicts: Sequence[dict]) -> "FlatStates":
+        """Convert reference-engine states (list of dicts) to flat layout."""
+        n = len(dicts)
+        ids_parts, dist_parts, counts = [], [], np.zeros(n, dtype=np.int64)
+        for v, d in enumerate(dicts):
+            items = sorted((k, val) for k, val in d.items() if val != INF)
+            counts[v] = len(items)
+            ids_parts.extend(k for k, _ in items)
+            dist_parts.extend(val for _, val in items)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return cls(
+            n,
+            offsets,
+            np.array(ids_parts, dtype=np.int64),
+            np.array(dist_parts, dtype=np.float64),
+        )
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total number of stored entries across all nodes."""
+        return int(self.ids.size)
+
+    def counts(self) -> np.ndarray:
+        """Per-node entry counts ``|x_v|``."""
+        return np.diff(self.offsets)
+
+    def node(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, dists)`` of node ``v``'s state."""
+        lo, hi = self.offsets[v], self.offsets[v + 1]
+        return self.ids[lo:hi], self.dists[lo:hi]
+
+    def to_dicts(self) -> list[dict]:
+        """Convert to reference-engine representation."""
+        return [
+            dict(zip(self.ids[lo:hi].tolist(), self.dists[lo:hi].tolist()))
+            for lo, hi in zip(self.offsets[:-1], self.offsets[1:])
+        ]
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``(n, n)`` matrix with ``inf`` for absent entries."""
+        out = np.full((self.n, self.n), INF)
+        owner = np.repeat(np.arange(self.n), self.counts())
+        out[owner, self.ids] = self.dists
+        return out
+
+    def restrict(self, keep_mask: np.ndarray) -> "FlatStates":
+        """Projection ``P``: zero out the states of nodes with mask False.
+
+        Implements Equation (5.2) — entries of non-selected nodes are
+        dropped wholesale (their state becomes ⊥).  Lazy in spirit: O(total).
+        """
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != (self.n,):
+            raise ValueError("mask must have shape (n,)")
+        counts = self.counts() * keep_mask
+        entry_keep = np.repeat(keep_mask, self.counts())
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return FlatStates(self.n, offsets, self.ids[entry_keep], self.dists[entry_keep])
+
+    def equals(self, other: "FlatStates") -> bool:
+        """Exact equality of canonical representations."""
+        return (
+            self.n == other.n
+            and np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.ids, other.ids)
+            and np.array_equal(self.dists, other.dists)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Filters
+# ---------------------------------------------------------------------------
+
+
+class FilterSpec:
+    """Base class: a vectorized representative projection.
+
+    Subclasses implement :meth:`sort_keys` (secondary/tertiary sort keys
+    within a target group) and :meth:`keep_mask` (given globally sorted
+    entries and their segment structure, which survive).
+    """
+
+    def sort_keys(self, ids: np.ndarray, dists: np.ndarray) -> tuple:
+        """Keys sorted *before* the target key in ``np.lexsort`` order."""
+        raise NotImplementedError
+
+    def keep_mask(
+        self,
+        tgt: np.ndarray,
+        ids: np.ndarray,
+        dists: np.ndarray,
+        seg_id: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        """Boolean survival mask over the (sorted) entries."""
+        raise NotImplementedError
+
+
+class MinFilter(FilterSpec):
+    """Keep the minimum distance per (target, id): the canonical identity.
+
+    This is plain aggregation (Lemma 2.3) — no information is discarded
+    beyond duplicate/dominated copies of the same key.
+    """
+
+    def sort_keys(self, ids: np.ndarray, dists: np.ndarray) -> tuple:
+        # lexsort uses the *last* key as primary; caller appends targets.
+        return (dists, ids)
+
+    def keep_mask(self, tgt, ids, dists, seg_id, n) -> np.ndarray:
+        keep = np.ones(tgt.size, dtype=bool)
+        if tgt.size > 1:
+            same = (tgt[1:] == tgt[:-1]) & (ids[1:] == ids[:-1])
+            keep[1:] = ~same
+        return keep
+
+
+class TopKFilter(FilterSpec):
+    """Source detection (Example 3.2): k smallest ``(dist, id)`` pairs.
+
+    ``source_mask[v]`` marks allowed sources; ``dmax`` is the distance cap.
+    Entries are first deduplicated per (target, id) to their min distance
+    (handled by sorting by (id-major? no — dist-major) — see note), then
+    the first ``k`` per target survive.
+
+    Note: with entries sorted by ``(target, dist, id)``, duplicates of an id
+    within a target are *not* adjacent; we remove them with an auxiliary
+    first-occurrence pass before ranking.
+    """
+
+    def __init__(self, k: int, dmax: float = INF, source_mask: np.ndarray | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = int(k)
+        self.dmax = float(dmax)
+        self.source_mask = source_mask
+
+    def sort_keys(self, ids: np.ndarray, dists: np.ndarray) -> tuple:
+        return (ids, dists)
+
+    def keep_mask(self, tgt, ids, dists, seg_id, n) -> np.ndarray:
+        # Drop disallowed sources / too-far entries up front.
+        ok = dists <= self.dmax
+        if self.source_mask is not None:
+            ok &= self.source_mask[ids]
+        # First occurrence per (target, id) — entries are sorted by
+        # (target, dist, id) so we detect duplicates via a (target, id) key.
+        pair_key = seg_id.astype(np.int64) * n + ids
+        order = np.argsort(pair_key, kind="stable")  # stable: keeps dist order
+        first_in_pair = np.ones(tgt.size, dtype=bool)
+        pk_sorted = pair_key[order]
+        first_sorted = np.ones(tgt.size, dtype=bool)
+        if tgt.size > 1:
+            first_sorted[1:] = pk_sorted[1:] != pk_sorted[:-1]
+        first_in_pair[order] = first_sorted
+        ok &= first_in_pair
+        # Rank surviving entries within their target segment.
+        surv_idx = np.flatnonzero(ok)
+        if surv_idx.size == 0:
+            return ok
+        surv_seg = seg_id[surv_idx]
+        seg_start = np.ones(surv_idx.size, dtype=bool)
+        seg_start[1:] = surv_seg[1:] != surv_seg[:-1]
+        start_pos = np.maximum.accumulate(np.where(seg_start, np.arange(surv_idx.size), 0))
+        within = np.arange(surv_idx.size) - start_pos
+        ok[surv_idx[within >= self.k]] = False
+        return ok
+
+
+class LEFilter(FilterSpec):
+    """The least-element filter of Definition 7.3, vectorized.
+
+    ``rank`` is the random total order.  Within a target, after sorting by
+    ``(dist, rank)``, an entry survives iff its rank is a *strict* running
+    minimum — the staircase.  The per-segment prefix-minimum uses the
+    offset trick: add ``segment * n`` to ranks so segments occupy disjoint
+    descending value ranges and one global ``np.minimum.accumulate``
+    suffices (see DESIGN.md).
+    """
+
+    def __init__(self, rank: np.ndarray):
+        self.rank = np.asarray(rank, dtype=np.int64)
+
+    def sort_keys(self, ids: np.ndarray, dists: np.ndarray) -> tuple:
+        return (self.rank[ids], dists)
+
+    def keep_mask(self, tgt, ids, dists, seg_id, n) -> np.ndarray:
+        if tgt.size == 0:
+            return np.zeros(0, dtype=bool)
+        # Later segments get *smaller* bases so the running min never leaks
+        # forward from an earlier segment.
+        adjusted = self.rank[ids] - seg_id.astype(np.int64) * (n + 1)
+        run_min = np.minimum.accumulate(adjusted)
+        keep = np.ones(tgt.size, dtype=bool)
+        keep[1:] = adjusted[1:] < run_min[:-1]
+        return keep
+
+
+# ---------------------------------------------------------------------------
+# Iteration kernels
+# ---------------------------------------------------------------------------
+
+
+def propagate(
+    states: FlatStates,
+    src: np.ndarray,
+    dst: np.ndarray,
+    w: np.ndarray,
+    *,
+    include_self: bool = True,
+    ledger: CostLedger = NULL_LEDGER,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Emit all propagated entries: returns flat ``(targets, ids, dists)``.
+
+    For each directed edge ``src[e] -> dst[e]`` every entry of
+    ``states[src[e]]`` is re-addressed to ``dst[e]`` with distance increased
+    by ``w[e]`` (the semimodule action ``w ⊙ x``).  With ``include_self``,
+    each node's own entries are also emitted (diagonal ``a_vv = 0``).
+    """
+    counts = states.counts()
+    edge_counts = counts[src]
+    total_edge = int(edge_counts.sum())
+    rep_edge = np.repeat(np.arange(src.size), edge_counts)
+    cum = np.concatenate([[0], np.cumsum(edge_counts)])
+    pos = np.arange(total_edge) - cum[rep_edge]
+    gather = states.offsets[src[rep_edge]] + pos
+    out_tgt = dst[rep_edge]
+    out_ids = states.ids[gather]
+    out_dists = states.dists[gather] + w[rep_edge]
+    if include_self:
+        own_tgt = np.repeat(np.arange(states.n, dtype=np.int64), counts)
+        out_tgt = np.concatenate([out_tgt, own_tgt])
+        out_ids = np.concatenate([out_ids, states.ids])
+        out_dists = np.concatenate([out_dists, states.dists])
+    # Cost: every emitted entry is one parallel unit of work at O(1) depth.
+    ledger.parallel_for(out_tgt.size, 1, 1, label="propagate")
+    return out_tgt, out_ids, out_dists
+
+
+def aggregate(
+    n: int,
+    tgt: np.ndarray,
+    ids: np.ndarray,
+    dists: np.ndarray,
+    spec: FilterSpec,
+    *,
+    ledger: CostLedger = NULL_LEDGER,
+) -> FlatStates:
+    """Group flat entries by target and apply the filter ``spec``.
+
+    One global lexsort by ``(target, <spec keys>)`` realizes the paper's
+    parallel-merge aggregation (Lemma 2.3): ``O(E log E)`` work at
+    ``O(log E)`` depth for ``E`` entries.
+    """
+    E = int(tgt.size)
+    if E == 0:
+        return FlatStates(n, np.zeros(n + 1, dtype=np.int64), ids[:0], dists[:0])
+    keys = spec.sort_keys(ids, dists)
+    order = np.lexsort(keys + (tgt,))
+    tgt_s, ids_s, dists_s = tgt[order], ids[order], dists[order]
+    seg_start = np.ones(E, dtype=bool)
+    seg_start[1:] = tgt_s[1:] != tgt_s[:-1]
+    seg_id = np.cumsum(seg_start) - 1
+    keep = spec.keep_mask(tgt_s, ids_s, dists_s, seg_id, n)
+    ledger.sort(E, label="aggregate-sort")
+    ledger.parallel_for(E, 1, 1, label="filter")
+    kept_tgt = tgt_s[keep]
+    kept_ids = ids_s[keep]
+    kept_dists = dists_s[keep]
+    counts = np.zeros(n, dtype=np.int64)
+    uniq, cnt = np.unique(kept_tgt, return_counts=True)
+    counts[uniq] = cnt
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    return FlatStates(n, offsets, kept_ids, kept_dists)
+
+
+def dense_iteration(
+    G: Graph,
+    states: FlatStates,
+    spec: FilterSpec,
+    *,
+    weight_scale: float = 1.0,
+    ledger: CostLedger = NULL_LEDGER,
+) -> FlatStates:
+    """One filtered MBF iteration ``r^V A x`` on ``G`` (min-plus, module D).
+
+    ``weight_scale`` multiplies all edge weights — the oracle uses this for
+    the level matrices ``A_λ = (1+eps)^(Λ-λ) · A_G`` (Lemma 5.1).
+    """
+    src, dst, w = G.directed_edges()
+    if weight_scale != 1.0:
+        w = w * weight_scale
+    tgt, ids, dists = propagate(states, src, dst, w, ledger=ledger)
+    return aggregate(G.n, tgt, ids, dists, spec, ledger=ledger)
+
+
+def run_dense(
+    G: Graph,
+    spec: FilterSpec,
+    *,
+    sources: Iterable[int] | None = None,
+    h: int | None = None,
+    x0: FlatStates | None = None,
+    ledger: CostLedger = NULL_LEDGER,
+) -> tuple[FlatStates, int]:
+    """Run the dense engine for ``h`` iterations or to the fixpoint.
+
+    Returns ``(states, iterations)``.  With ``h=None``, iterates until the
+    filtered state vector stabilizes (at most ``SPD(G) + 1`` iterations per
+    Definition 2.11; hard cap ``n + 1``).
+    """
+    states = x0 if x0 is not None else FlatStates.from_sources(G.n, sources)
+    # Canonicalize the initial vector through the filter (r^V x^(0)).
+    states = aggregate(
+        G.n,
+        np.repeat(np.arange(G.n, dtype=np.int64), states.counts()),
+        states.ids,
+        states.dists,
+        spec,
+        ledger=ledger,
+    )
+    if h is not None:
+        for _ in range(h):
+            states = dense_iteration(G, states, spec, ledger=ledger)
+        return states, h
+    for i in range(G.n + 1):
+        nxt = dense_iteration(G, states, spec, ledger=ledger)
+        if nxt.equals(states):
+            return states, i
+        states = nxt
+    raise RuntimeError("no fixpoint within n+1 iterations")

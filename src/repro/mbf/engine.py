@@ -1,0 +1,82 @@
+"""Reference engine for MBF-like algorithms.
+
+Executes ``x^(i+1) = r^V A x^(i)`` (Definition 2.11) for arbitrary
+semirings/semimodules.  One iteration touches every directed edge once:
+``(A x)_v = x_v ⊕ ⊕_{u ∈ N(v)} a_{vu} ⊙ x_u`` — the diagonal term
+``a_{vv} ⊙ x_v = one ⊙ x_v = x_v`` is Equation (2.1).
+
+This engine favours clarity over speed; the vectorized counterpart for
+distance-map states lives in :mod:`repro.mbf.dense`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.core import Graph
+from repro.mbf.algorithm import MBFAlgorithm
+
+__all__ = ["iterate", "run", "run_to_fixpoint"]
+
+
+def iterate(G: Graph, algo: MBFAlgorithm, states: list, *, apply_filter: bool = True) -> list:
+    """One MBF iteration: propagate, aggregate, (optionally) filter.
+
+    ``apply_filter=False`` computes the raw ``A x`` — used by tests that
+    verify Corollary 2.17 (interleaving filters does not change results).
+    """
+    n = G.n
+    if len(states) != n:
+        raise ValueError(f"state vector must have length {n}")
+    M = algo.module
+    new: list[Any] = []
+    for v in range(n):
+        acc = states[v]  # a_vv ⊙ x_v = x_v
+        nbr_ids, nbr_w = G.neighbors(v)
+        for u, w in zip(nbr_ids, nbr_w):
+            s = algo.edge_entry(v, int(u), float(w))
+            acc = M.add(acc, M.smul(s, states[int(u)]))
+        new.append(algo.filter(acc) if apply_filter else acc)
+    return new
+
+
+def run(G: Graph, algo: MBFAlgorithm, x0: list, h: int, *, apply_filter: bool = True) -> list:
+    """``h`` iterations: ``A^h(G) = r^V A^h x^(0)`` (Equation 2.17).
+
+    With ``apply_filter=True`` the filter runs after *every* iteration,
+    which by Corollary 2.17 yields the same representative as filtering only
+    once at the end.
+    """
+    if h < 0:
+        raise ValueError("h must be non-negative")
+    states = algo.filter_vector(x0) if apply_filter else list(x0)
+    for _ in range(h):
+        states = iterate(G, algo, states, apply_filter=apply_filter)
+    if not apply_filter:
+        states = algo.filter_vector(states)
+    return states
+
+
+def run_to_fixpoint(
+    G: Graph, algo: MBFAlgorithm, x0: list, *, max_iterations: int | None = None
+) -> tuple[list, int]:
+    """Iterate until the filtered state vector stabilizes.
+
+    Definition 2.11 notes a fixpoint is reached after at most ``SPD(G) < n``
+    iterations; we cap at ``max_iterations`` (default ``n + 1``) and raise if
+    it is exceeded (which would indicate a non-monotone filter bug).
+
+    Returns ``(states, iterations)`` where ``iterations`` is the number of
+    iterations *until* the fixpoint (i.e. the first ``i`` with
+    ``x^(i+1) = x^(i)``).
+    """
+    cap = (G.n + 1) if max_iterations is None else max_iterations
+    states = algo.filter_vector(x0)
+    for i in range(cap + 1):
+        nxt = iterate(G, algo, states)
+        if algo.states_equal(nxt, states):
+            return states, i
+        states = nxt
+    raise RuntimeError(
+        f"no fixpoint within {cap} iterations — filter is not congruence-compatible?"
+    )

@@ -1,0 +1,25 @@
+"""Approximate metric construction (Section 6) and spanners.
+
+- :func:`~repro.metric.approx_metric.approximate_metric` — Theorem 6.1:
+  query the Section-5 oracle with APSP to obtain a ``(1+o(1))``-approximate
+  *metric* (exact distances of ``H``) at subcubic work.
+- :func:`~repro.metric.approx_metric.approximate_metric_spanner` —
+  Theorem 6.2: precompose with a Baswana–Sen ``(2k-1)``-spanner for an
+  ``O(1)``-approximate metric at lower work on dense graphs.
+- :func:`~repro.metric.spanner.baswana_sen_spanner` — the randomized
+  ``(2k-1)``-spanner of Baswana & Sen [8], built from scratch.
+"""
+
+from repro.metric.approx_metric import (
+    MetricResult,
+    approximate_metric,
+    approximate_metric_spanner,
+)
+from repro.metric.spanner import baswana_sen_spanner
+
+__all__ = [
+    "MetricResult",
+    "approximate_metric",
+    "approximate_metric_spanner",
+    "baswana_sen_spanner",
+]

@@ -1,0 +1,5 @@
+"""The oracle for MBF-like queries on ``H`` (Section 5)."""
+
+from repro.oracle.oracle import HOracle
+
+__all__ = ["HOracle"]

@@ -1,0 +1,180 @@
+"""Simulating MBF-like iterations on ``H`` without materializing it.
+
+Lemma 5.1 decomposes the adjacency matrix of the simulated graph:
+
+    ``A_H = ⊕_{λ=0}^{Λ} P_λ A_λ^d P_λ``,
+
+where ``A_λ`` is ``G'``'s adjacency with weights scaled by
+``(1+eps)^(Λ-λ)`` and ``P_λ`` projects onto nodes of level ≥ λ.  By the
+congruence property (Corollary 2.17) filters may be applied after every
+step, so one ``H``-iteration is realized as (Equation 5.9):
+
+    ``x ← r^V ( ⊕_λ P_λ (r^V A_λ)^d P_λ x )``
+
+— ``Λ+1`` parallel chains of ``d`` *filtered* iterations on ``G'`` each,
+followed by one aggregation.  All state stays small thanks to the filter,
+which is exactly Theorem 5.2's efficiency argument; the cost ledger records
+the measured work/depth.
+
+Optimization (enabled by default, provably lossless): each inner chain
+``(r^V A_λ)^f P_λ x`` stops early once a fixpoint is reached — applying a
+min-plus SLF to its own fixpoint changes nothing, so the remaining
+``d - f`` applications are identities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.core import Graph
+from repro.hopsets.base import HopSetResult
+from repro.mbf.dense import FilterSpec, FlatStates, aggregate, dense_iteration
+from repro.pram.cost import NULL_LEDGER, CostLedger
+from repro.simulated.levels import level_masks, sample_levels
+from repro.util.rng import as_rng
+
+__all__ = ["HOracle"]
+
+
+class HOracle:
+    """Answers MBF-like queries on the simulated graph ``H``.
+
+    Parameters
+    ----------
+    hopset:
+        The ``(d, eps)``-hop-set result for the input graph ``G``
+        (``hopset.graph`` is ``G'``).
+    levels:
+        Optional pre-sampled node levels (else sampled from ``rng``).
+    penalty_base:
+        The level penalty base; defaults to ``1 + hopset.eps``.  Must be
+        ≥ 1.  (Theorem 4.5 requires ≥ ``1 + eps``.)
+    inner_early_exit:
+        Stop the inner ``d``-chains at their fixpoint (lossless; see module
+        docstring).  Disable to reproduce the paper's literal cost.
+    """
+
+    def __init__(
+        self,
+        hopset: HopSetResult,
+        *,
+        levels: np.ndarray | None = None,
+        penalty_base: float | None = None,
+        rng=None,
+        inner_early_exit: bool = True,
+    ):
+        self.hopset = hopset
+        self.graph: Graph = hopset.graph
+        self.d = int(hopset.d)
+        n = self.graph.n
+        g = as_rng(rng)
+        if levels is None:
+            levels, Lambda = sample_levels(n, g)
+        else:
+            levels = np.asarray(levels, dtype=np.int64)
+            if levels.shape != (n,) or np.any(levels < 0):
+                raise ValueError("levels must be a non-negative (n,) array")
+            Lambda = int(levels.max())
+        self.levels = levels
+        self.Lambda = Lambda
+        base = (1.0 + hopset.eps) if penalty_base is None else float(penalty_base)
+        if base < 1.0:
+            raise ValueError("penalty_base must be >= 1")
+        self.penalty_base = base
+        self.masks = level_masks(levels, Lambda)
+        self.inner_early_exit = bool(inner_early_exit)
+        # Per-H-iteration statistics for the cost experiments.
+        self.inner_iterations_used: list[int] = []
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    # -- single H-iteration --------------------------------------------------
+
+    def h_iteration(
+        self,
+        states: FlatStates,
+        spec: FilterSpec,
+        *,
+        ledger: CostLedger = NULL_LEDGER,
+    ) -> FlatStates:
+        """One iteration of ``A_H`` with filtering (Equation 5.9)."""
+        parts_tgt: list[np.ndarray] = []
+        parts_ids: list[np.ndarray] = []
+        parts_dists: list[np.ndarray] = []
+        inner_used = 0
+        children: list[CostLedger] = []
+        for lam in range(self.Lambda + 1):
+            child = ledger.fork()
+            scale = self.penalty_base ** (self.Lambda - lam)
+            y = states.restrict(self.masks[lam])
+            child.parallel_for(states.total, 1, 1, label=f"P_{lam}")
+            for f in range(self.d):
+                nxt = dense_iteration(
+                    self.graph, y, spec, weight_scale=scale, ledger=child
+                )
+                inner_used += 1
+                if self.inner_early_exit and nxt.equals(y):
+                    y = nxt
+                    break
+                y = nxt
+            y = y.restrict(self.masks[lam])
+            child.parallel_for(y.total, 1, 1, label=f"P_{lam}'")
+            owner = np.repeat(np.arange(self.n, dtype=np.int64), y.counts())
+            parts_tgt.append(owner)
+            parts_ids.append(y.ids)
+            parts_dists.append(y.dists)
+            children.append(child)
+        # The Λ+1 chains run in parallel in the paper's model.
+        ledger.join(*children, label="levels")
+        self.inner_iterations_used.append(inner_used)
+        return aggregate(
+            self.n,
+            np.concatenate(parts_tgt),
+            np.concatenate(parts_ids),
+            np.concatenate(parts_dists),
+            spec,
+            ledger=ledger,
+        )
+
+    # -- full queries ----------------------------------------------------------
+
+    def run(
+        self,
+        spec: FilterSpec,
+        *,
+        sources: Iterable[int] | None = None,
+        x0: FlatStates | None = None,
+        h: int | None = None,
+        max_iterations: int | None = None,
+        ledger: CostLedger = NULL_LEDGER,
+    ) -> tuple[FlatStates, int]:
+        """Run an MBF-like algorithm on ``H``: ``A^h(H)`` (Theorem 5.2).
+
+        With ``h=None`` iterates to the fixpoint — at most ``SPD(H) + 1``
+        iterations, i.e. ``O(log² n)`` w.h.p. (Theorem 4.5).  Returns
+        ``(states, iterations)``.
+        """
+        states = x0 if x0 is not None else FlatStates.from_sources(self.n, sources)
+        states = aggregate(
+            self.n,
+            np.repeat(np.arange(self.n, dtype=np.int64), states.counts()),
+            states.ids,
+            states.dists,
+            spec,
+            ledger=ledger,
+        )
+        if h is not None:
+            for _ in range(h):
+                states = self.h_iteration(states, spec, ledger=ledger)
+            return states, h
+        cap = (self.n + 1) if max_iterations is None else max_iterations
+        for i in range(cap + 1):
+            nxt = self.h_iteration(states, spec, ledger=ledger)
+            if nxt.equals(states):
+                return states, i
+            states = nxt
+        raise RuntimeError(f"H-iteration did not reach a fixpoint within {cap} steps")

@@ -1,0 +1,186 @@
+"""Work/depth cost ledger (the paper's DAG model, Section 1.2).
+
+A :class:`CostLedger` accumulates *work* (total elementary operations) and
+*depth* (critical-path length).  Kernels charge costs through three verbs:
+
+- :meth:`CostLedger.serial`: a sequential phase — work and depth both add.
+- :meth:`CostLedger.parallel_for`: ``k`` independent parallel items — work
+  adds the total, depth adds only the per-item depth (the max).
+- :meth:`CostLedger.reduction` / :meth:`CostLedger.sort`: balanced tree
+  combine / parallel merge sort over ``k`` items — ``O(k)`` resp.
+  ``O(k log k)`` work at ``O(log k)`` depth.
+
+Nested parallelism is expressed with :meth:`CostLedger.fork`: children run
+"in parallel", so the parent's depth increases by the max child depth while
+work increases by the sum.
+
+The ledger is deliberately simple — integers only, no unit pretence.  What
+matters for the reproduction is *scaling* (how work and depth grow with n, m),
+not absolute constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseCost", "CostLedger", "NULL_LEDGER"]
+
+
+@dataclass
+class PhaseCost:
+    """Cost of one named phase: ``work`` operations at ``depth`` critical path."""
+
+    label: str
+    work: int
+    depth: int
+
+
+def _log2_ceil(k: int) -> int:
+    """``ceil(log2(k))`` for ``k >= 1``; 0 for ``k <= 1``."""
+    if k <= 1:
+        return 0
+    return int(math.ceil(math.log2(k)))
+
+
+@dataclass
+class CostLedger:
+    """Accumulates work/depth; optionally keeps a per-phase trace.
+
+    Parameters
+    ----------
+    trace:
+        If true, every charge is recorded as a :class:`PhaseCost` in
+        :attr:`phases` (useful for per-stage breakdowns in benches).
+    """
+
+    trace: bool = False
+    work: int = 0
+    depth: int = 0
+    phases: list[PhaseCost] = field(default_factory=list)
+
+    # -- primitive verbs ---------------------------------------------------
+
+    def serial(self, work: int, depth: int | None = None, label: str = "serial") -> None:
+        """Charge a sequential phase: ``depth`` defaults to ``work``."""
+        if work < 0:
+            raise ValueError("work must be non-negative")
+        d = work if depth is None else depth
+        self.work += int(work)
+        self.depth += int(d)
+        if self.trace:
+            self.phases.append(PhaseCost(label, int(work), int(d)))
+
+    def parallel_for(
+        self,
+        items: int,
+        work_per_item: int = 1,
+        depth_per_item: int = 1,
+        label: str = "parallel_for",
+    ) -> None:
+        """Charge ``items`` independent parallel tasks."""
+        if items < 0:
+            raise ValueError("items must be non-negative")
+        if items == 0:
+            return
+        w = int(items) * int(work_per_item)
+        d = int(depth_per_item)
+        self.work += w
+        self.depth += d
+        if self.trace:
+            self.phases.append(PhaseCost(label, w, d))
+
+    def reduction(self, items: int, label: str = "reduction") -> None:
+        """Balanced binary tree reduction of ``items`` values."""
+        if items <= 0:
+            return
+        w = int(items)
+        d = _log2_ceil(items)
+        self.work += w
+        self.depth += d
+        if self.trace:
+            self.phases.append(PhaseCost(label, w, d))
+
+    def sort(self, items: int, label: str = "sort") -> None:
+        """Parallel sort of ``items`` keys: ``O(k log k)`` work, ``O(log k)`` depth.
+
+        The paper invokes the AKS sorting network (Lemma 2.3 cites [1]) with
+        exactly this cost; we charge ``k * ceil(log2 k)`` work and
+        ``ceil(log2 k)`` depth.
+        """
+        if items <= 1:
+            self.serial(1, 1, label)
+            return
+        lg = _log2_ceil(items)
+        w = int(items) * lg
+        self.work += w
+        self.depth += lg
+        if self.trace:
+            self.phases.append(PhaseCost(label, w, lg))
+
+    # -- composition -------------------------------------------------------
+
+    def fork(self) -> "CostLedger":
+        """Create a child ledger for a parallel branch (join with :meth:`join`)."""
+        return CostLedger(trace=self.trace)
+
+    def join(self, *children: "CostLedger", label: str = "join") -> None:
+        """Join parallel children: sum of work, max of depth."""
+        if not children:
+            return
+        w = sum(c.work for c in children)
+        d = max(c.depth for c in children)
+        self.work += w
+        self.depth += d
+        if self.trace:
+            self.phases.append(PhaseCost(label, w, d))
+            for c in children:
+                self.phases.extend(c.phases)
+
+    def merge_sequential(self, other: "CostLedger", label: str = "seq") -> None:
+        """Append ``other``'s cost sequentially after this ledger's."""
+        self.work += other.work
+        self.depth += other.depth
+        if self.trace:
+            self.phases.extend(other.phases)
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> tuple[int, int]:
+        """Return ``(work, depth)``."""
+        return self.work, self.depth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostLedger(work={self.work}, depth={self.depth})"
+
+
+class _NullLedger(CostLedger):
+    """A ledger that ignores all charges — used when costs are not needed.
+
+    Shares the :class:`CostLedger` interface so kernels can charge
+    unconditionally without ``if ledger is not None`` noise.
+    """
+
+    def serial(self, work: int, depth: int | None = None, label: str = "serial") -> None:
+        return
+
+    def parallel_for(self, items: int, work_per_item: int = 1, depth_per_item: int = 1, label: str = "parallel_for") -> None:
+        return
+
+    def reduction(self, items: int, label: str = "reduction") -> None:
+        return
+
+    def sort(self, items: int, label: str = "sort") -> None:
+        return
+
+    def fork(self) -> "CostLedger":
+        return self
+
+    def join(self, *children: "CostLedger", label: str = "join") -> None:
+        return
+
+    def merge_sequential(self, other: "CostLedger", label: str = "seq") -> None:
+        return
+
+
+NULL_LEDGER = _NullLedger()

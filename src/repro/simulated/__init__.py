@@ -1,0 +1,19 @@
+"""The simulated graph ``H`` (Section 4).
+
+Given ``G'`` (``G`` + a ``(d, eps)``-hop set) and geometrically sampled node
+levels, ``H`` is the complete graph with
+
+    ``omega_Lambda({v,w}) = (1+eps)^(Lambda - lambda(v,w)) · dist^d(v,w,G')``
+
+where ``lambda(v,w) = min(lambda(v), lambda(w))``.  Theorem 4.5: w.h.p.
+``SPD(H) = O(log² n)`` and ``dist_G <= dist_H <= (1+eps)^(O(log n)) dist_G``.
+
+``H`` is *never* materialized by the production pipeline (that would cost
+Ω(n²)); :class:`~repro.simulated.hgraph.SimulatedGraph` materializes it only
+for verification-scale experiments (E2, E12).
+"""
+
+from repro.simulated.levels import edge_level, sample_levels
+from repro.simulated.hgraph import SimulatedGraph
+
+__all__ = ["sample_levels", "edge_level", "SimulatedGraph"]

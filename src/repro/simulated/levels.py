@@ -1,0 +1,44 @@
+"""Geometric node-level sampling (Section 4).
+
+Every vertex starts at level 0; in step ``λ >= 1`` each vertex at level
+``λ-1`` rises to level ``λ`` with probability 1/2, until a step selects no
+vertex.  Equivalently ``λ(v) ~ Geometric(1/2) - 1`` truncated at the first
+empty step; ``Λ = max_v λ(v) ∈ O(log n)`` w.h.p. (Lemma 4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = ["sample_levels", "edge_level", "level_masks"]
+
+
+def sample_levels(n: int, rng=None) -> tuple[np.ndarray, int]:
+    """Sample node levels; returns ``(levels, Lambda)`` with ``Lambda = max``.
+
+    The sequential "raise until an empty step" process is equivalent to
+    drawing i.i.d. geometric levels: the process stops exactly at step
+    ``max_v λ(v) + 1``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    g = as_rng(rng)
+    # numpy geometric(p) >= 1 counts trials to first success; the paper's
+    # level counts successes before the first failure with p = 1/2 — the
+    # same distribution shifted by one.
+    levels = g.geometric(0.5, size=n).astype(np.int64) - 1
+    return levels, int(levels.max())
+
+
+def edge_level(levels: np.ndarray, u, v) -> np.ndarray:
+    """``λ({u, v}) = min(λ(u), λ(v))`` — vectorized over endpoint arrays."""
+    levels = np.asarray(levels)
+    return np.minimum(levels[u], levels[v])
+
+
+def level_masks(levels: np.ndarray, Lambda: int) -> list[np.ndarray]:
+    """``masks[λ][v] = (λ(v) >= λ)`` — the projections ``P_λ`` of Eq. (5.2)."""
+    levels = np.asarray(levels)
+    return [levels >= lam for lam in range(Lambda + 1)]

@@ -1,0 +1,18 @@
+"""Small shared utilities: RNG handling, validation, array helpers."""
+
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_index",
+    "check_positive",
+    "check_probability",
+    "require",
+]

@@ -1,0 +1,47 @@
+"""Lightweight argument validation helpers.
+
+These raise ``ValueError``/``TypeError`` with uniform messages.  They are used
+at public API boundaries; inner kernels assume validated inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["require", "check_positive", "check_probability", "check_index"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is a (strictly) positive finite number."""
+    v = float(value)
+    if v != v:  # NaN
+        raise ValueError(f"{name} must not be NaN")
+    if strict and v <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and v < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]``."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return v
+
+
+def check_index(value: Any, n: int, name: str) -> int:
+    """Validate that ``value`` is an integer index in ``[0, n)``."""
+    i = int(value)
+    if i != value:
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    if not 0 <= i < n:
+        raise ValueError(f"{name} must be in [0, {n}), got {value!r}")
+    return i

@@ -1,0 +1,147 @@
+"""Semimodule law tests (Definition A.3, Equations 2.1-2.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    INF,
+    AllPaths,
+    BooleanSemiring,
+    DistanceMapModule,
+    MaxMin,
+    MinPlus,
+    SemiringAsModule,
+    SetModule,
+    WidthMapModule,
+    check_semimodule_laws,
+)
+
+SCALARS = [0.0, 1.0, 2.5, INF]
+
+
+def dist_maps(n=4):
+    # Dyadic values keep float addition exact across the law checks.
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=2**20).map(lambda i: i / 64.0),
+        max_size=n,
+    )
+
+
+class TestDistanceMapModule:
+    def setup_method(self):
+        self.M = DistanceMapModule(4)
+
+    def test_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            DistanceMapModule(0)
+
+    def test_zero_is_empty(self):
+        assert self.M.zero == {}
+
+    def test_add_entrywise_min(self):
+        assert self.M.add({0: 3.0, 1: 5.0}, {1: 2.0, 2: 7.0}) == {
+            0: 3.0,
+            1: 2.0,
+            2: 7.0,
+        }
+
+    def test_smul_shifts(self):
+        assert self.M.smul(2.0, {0: 1.0, 3: 4.0}) == {0: 3.0, 3: 6.0}
+
+    def test_smul_inf_annihilates(self):
+        assert self.M.smul(INF, {0: 1.0}) == {}
+
+    def test_smul_zero_identity(self):
+        x = {0: 1.0, 2: 2.0}
+        assert self.M.smul(0.0, x) == x
+
+    def test_eq_ignores_explicit_inf(self):
+        assert self.M.eq({0: 1.0, 1: INF}, {0: 1.0})
+
+    def test_laws_deterministic(self):
+        # Corollary 2.2.
+        elems = [{}, {0: 0.0}, {1: 2.0, 2: 3.0}, {0: 1.0, 3: INF}]
+        check_semimodule_laws(self.M, SCALARS, elems)
+
+    @given(st.lists(dist_maps(), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_laws_property(self, elems):
+        check_semimodule_laws(DistanceMapModule(4), SCALARS, elems)
+
+    def test_is_element(self):
+        assert self.M.is_element({0: 1.0})
+        assert not self.M.is_element({9: 1.0})
+        assert not self.M.is_element({0: -1.0})
+        assert not self.M.is_element([1.0])
+
+
+class TestWidthMapModule:
+    def setup_method(self):
+        self.M = WidthMapModule(4)
+
+    def test_add_entrywise_max(self):
+        assert self.M.add({0: 3.0}, {0: 5.0, 1: 1.0}) == {0: 5.0, 1: 1.0}
+
+    def test_smul_caps(self):
+        assert self.M.smul(2.0, {0: 5.0, 1: 1.0}) == {0: 2.0, 1: 1.0}
+
+    def test_smul_zero_annihilates(self):
+        assert self.M.smul(0.0, {0: 5.0}) == {}
+
+    def test_smul_inf_identity(self):
+        x = {0: 5.0, 2: 1.0}
+        assert self.M.smul(INF, x) == x
+
+    def test_eq_ignores_zero_entries(self):
+        assert self.M.eq({0: 0.0, 1: 2.0}, {1: 2.0})
+
+    def test_laws_deterministic(self):
+        # Corollary 3.11.
+        elems = [{}, {0: INF}, {1: 2.0, 2: 3.0}, {0: 1.0}]
+        check_semimodule_laws(self.M, SCALARS, elems)
+
+    @given(st.lists(dist_maps(), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_laws_property(self, elems):
+        check_semimodule_laws(WidthMapModule(4), SCALARS, elems)
+
+
+class TestSemiringAsModule:
+    @pytest.mark.parametrize("semiring", [MinPlus(), MaxMin(), BooleanSemiring()])
+    def test_scalar_module_laws(self, semiring):
+        if isinstance(semiring, BooleanSemiring):
+            scalars = elems = [False, True]
+        else:
+            scalars = elems = [0.0, 1.0, 3.0, INF]
+        check_semimodule_laws(SemiringAsModule(semiring), scalars, elems)
+
+    def test_all_paths_as_module(self):
+        # Corollary 3.19: P_min,+ is a zero-preserving semimodule over itself.
+        S = AllPaths(3)
+        elems = [{}, {(0,): 0.0}, {(0, 1): 1.0}, {(1, 2): 2.0, (0, 1): 3.0}]
+        scalars = [{}, S.one, {(0, 1): 1.0}, {(2, 1): 0.5}]
+        check_semimodule_laws(SemiringAsModule(S), scalars, elems)
+
+
+class TestSetModule:
+    def setup_method(self):
+        self.M = SetModule(4)
+
+    def test_add_is_union(self):
+        assert self.M.add(frozenset([0]), frozenset([1, 2])) == frozenset([0, 1, 2])
+
+    def test_smul(self):
+        x = frozenset([1, 3])
+        assert self.M.smul(True, x) == x
+        assert self.M.smul(False, x) == frozenset()
+
+    def test_laws(self):
+        elems = [frozenset(), frozenset([0]), frozenset([1, 2]), frozenset([0, 1, 2, 3])]
+        check_semimodule_laws(self.M, [False, True], elems)
+
+    def test_is_element(self):
+        assert self.M.is_element(frozenset([0, 3]))
+        assert not self.M.is_element(frozenset([4]))
+        assert not self.M.is_element(7)

@@ -1,0 +1,193 @@
+"""Semiring law tests (Definition A.2) — deterministic and property-based."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    INF,
+    AllPaths,
+    BooleanSemiring,
+    MaxMin,
+    MinPlus,
+    check_semiring_laws,
+)
+
+FINITE = [0.0, 0.5, 1.0, 2.0, 3.5, 100.0]
+WITH_INF = FINITE + [INF]
+
+
+def weights():
+    # Dyadic rationals: float addition of a few of these is exact, so the
+    # (mathematically valid) associativity laws are not spoiled by rounding.
+    return st.one_of(
+        st.just(INF),
+        st.integers(min_value=0, max_value=2**20).map(lambda i: i / 64.0),
+    )
+
+
+class TestMinPlus:
+    def test_neutral_elements(self):
+        S = MinPlus()
+        assert S.zero == INF
+        assert S.one == 0.0
+
+    def test_add_is_min(self):
+        S = MinPlus()
+        assert S.add(3.0, 5.0) == 3.0
+        assert S.add(INF, 5.0) == 5.0
+
+    def test_mul_is_plus(self):
+        S = MinPlus()
+        assert S.mul(3.0, 5.0) == 8.0
+        assert S.mul(INF, 5.0) == INF
+
+    def test_laws_deterministic(self):
+        check_semiring_laws(MinPlus(), WITH_INF)
+
+    @given(st.lists(weights(), min_size=1, max_size=4))
+    @settings(max_examples=50)
+    def test_laws_property(self, elems):
+        check_semiring_laws(MinPlus(), elems)
+
+    def test_add_many(self):
+        S = MinPlus()
+        assert S.add_many([5.0, 2.0, 9.0]) == 2.0
+        assert S.add_many([]) == INF
+
+    def test_power(self):
+        S = MinPlus()
+        assert S.power(3.0, 4) == 12.0
+        assert S.power(3.0, 0) == 0.0
+
+    def test_is_element(self):
+        S = MinPlus()
+        assert S.is_element(0.0) and S.is_element(INF)
+        assert not S.is_element(-1.0)
+        assert not S.is_element(float("nan"))
+
+
+class TestMaxMin:
+    def test_neutral_elements(self):
+        S = MaxMin()
+        assert S.zero == 0.0
+        assert S.one == INF
+
+    def test_add_is_max(self):
+        assert MaxMin().add(3.0, 5.0) == 5.0
+
+    def test_mul_is_min(self):
+        assert MaxMin().mul(3.0, 5.0) == 3.0
+
+    def test_annihilation(self):
+        S = MaxMin()
+        assert S.mul(0.0, 7.0) == 0.0
+
+    def test_laws_deterministic(self):
+        # Lemma 3.10.
+        check_semiring_laws(MaxMin(), WITH_INF)
+
+    @given(st.lists(weights(), min_size=1, max_size=4))
+    @settings(max_examples=50)
+    def test_laws_property(self, elems):
+        check_semiring_laws(MaxMin(), elems)
+
+
+class TestBoolean:
+    def test_neutral_elements(self):
+        B = BooleanSemiring()
+        assert B.zero is False
+        assert B.one is True
+
+    def test_or_and(self):
+        B = BooleanSemiring()
+        assert B.add(False, True) is True
+        assert B.mul(False, True) is False
+
+    def test_laws(self):
+        check_semiring_laws(BooleanSemiring(), [False, True])
+
+
+class TestAllPaths:
+    def setup_method(self):
+        self.S = AllPaths(4)
+
+    def test_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            AllPaths(0)
+
+    def test_zero_is_empty(self):
+        assert self.S.zero == {}
+
+    def test_one_contains_all_trivial_paths(self):
+        one = self.S.one
+        assert one == {(0,): 0.0, (1,): 0.0, (2,): 0.0, (3,): 0.0}
+
+    def test_add_keeps_lighter(self):
+        x = {(0, 1): 3.0}
+        y = {(0, 1): 2.0, (1, 2): 5.0}
+        assert self.S.add(x, y) == {(0, 1): 2.0, (1, 2): 5.0}
+
+    def test_mul_concatenates(self):
+        x = {(0, 1): 1.0}
+        y = {(1, 2): 2.0}
+        assert self.S.mul(x, y) == {(0, 1, 2): 3.0}
+
+    def test_mul_requires_concatenable(self):
+        x = {(0, 1): 1.0}
+        y = {(2, 3): 2.0}
+        assert self.S.mul(x, y) == {}
+
+    def test_mul_discards_loops(self):
+        x = {(0, 1): 1.0}
+        y = {(1, 0): 2.0}
+        # (0,1) ∘ (1,0) would repeat vertex 0 — not a loop-free path.
+        assert self.S.mul(x, y) == {}
+
+    def test_mul_takes_min_over_splits(self):
+        x = {(0, 1): 1.0, (0, 2): 10.0}
+        y = {(1, 3): 1.0, (2, 3): 1.0}
+        out = self.S.mul(x, y)
+        assert out == {(0, 1, 3): 2.0, (0, 2, 3): 11.0}
+
+    def test_one_is_neutral(self):
+        x = {(0, 1, 2): 4.0, (3,): 0.0}
+        assert self.S.eq(self.S.mul(self.S.one, x), x)
+        assert self.S.eq(self.S.mul(x, self.S.one), x)
+
+    def test_laws_deterministic(self):
+        # Lemma 3.18 on a hand-picked element set.
+        elems = [
+            {},
+            {(0,): 0.0},
+            {(0, 1): 1.0},
+            {(1, 2): 2.0, (0, 1): 1.5},
+            {(0, 1, 2): 3.0},
+            self.S.one,
+        ]
+        check_semiring_laws(self.S, elems)
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.permutations(range(3)).map(lambda p: tuple(p[:2])),
+                st.integers(min_value=0, max_value=2**12).map(lambda i: i / 64.0),
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_laws_property(self, elems):
+        check_semiring_laws(AllPaths(3), elems)
+
+    def test_is_element_rejects_loops(self):
+        assert not self.S.is_element({(0, 0): 1.0})
+        assert not self.S.is_element({(0, 9): 1.0})
+        assert self.S.is_element({(0, 1): 1.0})
+
+    def test_canonical_drops_inf(self):
+        assert AllPaths.canonical({(0, 1): math.inf, (1, 2): 1.0}) == {(1, 2): 1.0}

@@ -1,0 +1,236 @@
+"""Congruence checks (Lemma 2.8) for the built-in filters.
+
+Each representative projection must satisfy: r² = r, r(s⊙x) determined by
+r(x), and r(x⊕y) determined by (r(x), r(y)).  We verify on deterministic and
+hypothesis-generated samples via check_congruence_on_samples.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    AllPaths,
+    DistanceMapModule,
+    MinPlus,
+    SemiringAsModule,
+    check_congruence_on_samples,
+)
+from repro.mbf import filters
+from repro.mbf.zoo import k_sdp as zoo_k_sdp
+
+INF = math.inf
+N = 5
+SCALARS = [0.0, 0.5, 1.0, 2.0, INF]
+
+
+def dist_maps():
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=2**16).map(lambda i: i / 64.0),
+        max_size=N,
+    )
+
+
+class TestSourceDetectionCongruence:
+    """Example 3.2 — proved in Appendix B; we verify executable samples."""
+
+    def test_deterministic(self):
+        M = DistanceMapModule(N)
+        r = filters.source_detection([0, 1, 3], k=2, dmax=5.0)
+        elems = [
+            {},
+            {0: 1.0},
+            {0: 1.0, 1: 2.0, 3: 3.0},
+            {2: 0.5, 4: 0.5},  # non-sources are always dropped
+            {0: 6.0},  # beyond dmax
+            {0: 2.0, 1: 2.0},  # tie broken by id
+        ]
+        check_congruence_on_samples(M, r, SCALARS, elems)
+
+    @given(st.lists(dist_maps(), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_property(self, elems):
+        M = DistanceMapModule(N)
+        r = filters.source_detection([0, 2], k=1, dmax=100.0)
+        check_congruence_on_samples(M, r, SCALARS, elems)
+
+    @given(st.lists(dist_maps(), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_property_k3_unbounded(self, elems):
+        M = DistanceMapModule(N)
+        r = filters.source_detection(range(N), k=3)
+        check_congruence_on_samples(M, r, SCALARS, elems)
+
+
+class TestLEListCongruence:
+    """Lemma 7.5 — the LE filter induces a congruence relation."""
+
+    def test_deterministic(self):
+        M = DistanceMapModule(N)
+        rank = np.array([2, 0, 4, 1, 3])
+        r = filters.le_list(rank)
+        elems = [
+            {},
+            {0: 1.0},
+            {1: 0.0, 0: 1.0, 2: 5.0},
+            {2: 1.0, 3: 1.0},  # equal distance: smaller rank wins
+            {4: 2.0, 0: 2.0, 1: 2.0},
+        ]
+        check_congruence_on_samples(M, r, SCALARS, elems)
+
+    @given(
+        st.permutations(range(N)),
+        st.lists(dist_maps(), min_size=1, max_size=3),
+    )
+    @settings(max_examples=40)
+    def test_property(self, perm, elems):
+        M = DistanceMapModule(N)
+        r = filters.le_list(np.array(perm))
+        check_congruence_on_samples(M, r, SCALARS, elems)
+
+    def test_dominated_entries_removed(self):
+        rank = np.arange(N)  # identity order: node 0 is globally smallest
+        r = filters.le_list(rank)
+        x = {0: 5.0, 1: 5.0, 2: 4.0}
+        # node 1 at distance 5 is dominated by node 0 at 5; node 2 at 4 survives.
+        assert r(x) == {0: 5.0, 2: 4.0}
+
+    def test_idempotent(self):
+        rank = np.array([1, 0, 2, 3, 4])
+        r = filters.le_list(rank)
+        x = {0: 3.0, 1: 1.0, 2: 0.5, 4: 10.0}
+        assert r(r(x)) == r(x)
+
+
+class TestRangeFilterCongruence:
+    def test_deterministic(self):
+        M = SemiringAsModule(MinPlus())
+        r = filters.distance_range(4.0)
+        elems = [0.0, 1.0, 3.9, 4.0, 4.1, 10.0, INF]
+        check_congruence_on_samples(M, r, SCALARS, elems)
+
+    def test_boundary_kept(self):
+        r = filters.distance_range(4.0)
+        assert r(4.0) == 4.0
+        assert r(4.0000001) == INF
+
+
+class TestKSDPCongruence:
+    """Lemma 3.22 — the k-SDP filter congruence.
+
+    REPRODUCTION ERRATUM (see DESIGN.md §5 and EXPERIMENTS.md): the lemma as
+    stated does *not* hold unconditionally.  Concatenation in P_min,+ is
+    partial — extending a path that revisits a vertex yields nothing — so
+    discarding a path in favour of a lighter one can lose information when
+    the lighter path later becomes loopy.  We verify (a) the congruence on
+    states where it holds, (b) an explicit algebraic counterexample, and
+    (c) an end-to-end graph instance where the filtered fixpoint returns a
+    wrong k-th simple-path distance (test_zoo_erratum below).
+    """
+
+    def _safe_elems(self):
+        # States whose kept representatives never traverse a vertex that a
+        # scalar prefix could revisit: single-edge paths to the sink only.
+        return [
+            {},
+            {(0, 2): 1.0},
+            {(0, 2): 1.0, (1, 2): 3.0},
+            {(0, 1): 7.0},  # does not end at sink — always filtered
+            {(2,): 0.0},
+            {(0, 2): 2.0, (1, 2): 2.0},
+        ]
+
+    def test_congruence_on_safe_states(self):
+        S = AllPaths(3)
+        M = SemiringAsModule(S)
+        r = filters.k_shortest_paths(1, sink=2)
+        scalars = [{}, S.one, {(0, 1): 1.0}, {(1, 0): 2.0}]
+        check_congruence_on_samples(M, r, scalars, self._safe_elems())
+
+    def test_congruence_counterexample_lemma_3_22(self):
+        """Explicit algebraic counterexample to Lemma 3.22 / Eq. (2.12).
+
+        x keeps only its best 1->2 path (1,0,2); prepending the edge (0,1)
+        makes it loopy, so r((0,1) ⊙ r(x)) = ⊥ while r((0,1) ⊙ x) retains
+        (0,1,2) through the *discarded* path (1,2).
+        """
+        S = AllPaths(3)
+        M = SemiringAsModule(S)
+        r = filters.k_shortest_paths(1, sink=2)
+        x = {(1, 0, 2): 1.0, (1, 2): 5.0}
+        s = {(0, 1): 1.0}
+        lhs = r(M.smul(s, x))
+        rhs = r(M.smul(s, r(x)))
+        assert lhs == {(0, 1, 2): 6.0}
+        assert rhs == {}  # information lost by filtering first
+        assert lhs != rhs
+
+    def test_keeps_k_per_start_vertex(self):
+        r = filters.k_shortest_paths(1, sink=2)
+        x = {(0, 2): 5.0, (0, 1, 2): 3.0, (1, 2): 1.0}
+        out = r(x)
+        assert out == {(0, 1, 2): 3.0, (1, 2): 1.0}
+
+    def test_distinct_variant_on_safe_states(self):
+        S = AllPaths(3)
+        M = SemiringAsModule(S)
+        r = filters.k_shortest_paths(2, sink=2, distinct=True)
+        scalars = [{}, S.one, {(0, 1): 1.0}]
+        check_congruence_on_samples(M, r, scalars, self._safe_elems())
+
+
+class TestKSDPEndToEndErratum:
+    """A concrete graph where the filtered k-SDP fixpoint is wrong.
+
+    Found by randomized search during reproduction: on this 6-vertex graph
+    the 3rd-lightest simple 4->2 path has weight 52, but the MBF-like
+    algorithm with the Lemma-3.22 filter reports 53 — the true 3rd path's
+    prefix was filtered away at an intermediate node where it ranked below
+    two paths that later became loopy.  k=1 (plain SSSP) is always exact.
+    """
+
+    EDGES = [
+        (0, 1, 17.0), (0, 2, 45.0), (0, 3, 27.0), (3, 4, 15.0), (4, 5, 59.0),
+        (0, 4, 8.0), (0, 5, 33.0), (1, 2, 46.0), (1, 4, 24.0), (1, 5, 5.0),
+        (2, 3, 44.0), (2, 4, 1.0), (2, 5, 22.0), (3, 5, 25.0),
+    ]
+
+    def _ground_truth(self, g, v, sink, k):
+        import networkx as nx
+
+        nxg = g.to_networkx()
+        allp = [
+            sum(nxg[a][b]["weight"] for a, b in zip(p[:-1], p[1:]))
+            for p in nx.all_simple_paths(nxg, v, sink)
+        ]
+        return sorted(allp)[:k]
+
+    def test_erratum_instance(self):
+        from repro.graph.core import Graph
+        from repro.mbf import run_to_fixpoint
+
+        g = Graph.from_edge_list(6, self.EDGES)
+        inst = zoo_k_sdp(6, k=3, sink=2)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        got = [w for w, _ in inst.decode(states)[4]]
+        want = self._ground_truth(g, 4, 2, 3)
+        assert want == [1.0, 51.0, 52.0]
+        assert got == [1.0, 51.0, 53.0]  # the erratum: 3rd distance is wrong
+
+    def test_k1_always_exact_on_erratum_instance(self):
+        from repro.graph.core import Graph
+        from repro.graph.shortest_paths import dijkstra_distances
+        from repro.mbf import run_to_fixpoint
+
+        g = Graph.from_edge_list(6, self.EDGES)
+        inst = zoo_k_sdp(6, k=1, sink=2)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        D = dijkstra_distances(g)
+        for v in range(6):
+            got = [w for w, _ in inst.decode(states)[v]]
+            if v == 2:
+                continue
+            assert got[0] == D[v, 2]

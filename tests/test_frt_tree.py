@@ -1,0 +1,259 @@
+"""Tests for LE lists and FRT tree construction (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.frt import (
+    build_frt_tree,
+    compute_le_lists,
+    le_lists_as_arrays,
+    sample_frt_tree,
+)
+from repro.frt.lelists import max_list_length
+from repro.graph import generators as gen
+from repro.graph.shortest_paths import dijkstra_distances, shortest_path_diameter
+
+
+class TestLEListSemantics:
+    def test_definition_brute_force(self, small_graphs):
+        """LE list == brute-force domination filter on exact distances."""
+        for g in small_graphs:
+            rank = np.random.default_rng(1).permutation(g.n)
+            lists, _ = compute_le_lists(g, rank)
+            D = dijkstra_distances(g)
+            for v in range(g.n):
+                want = {}
+                for w in range(g.n):
+                    dominated = any(
+                        rank[u] < rank[w] and D[v, u] <= D[v, w] for u in range(g.n)
+                    )
+                    if not dominated and np.isfinite(D[v, w]):
+                        want[w] = D[v, w]
+                ids, dists = lists.node(v)
+                got = dict(zip(ids.tolist(), dists.tolist()))
+                assert got == pytest.approx(want)
+
+    def test_fixpoint_iterations_at_most_spd(self, small_graphs):
+        for g in small_graphs:
+            rank = np.random.default_rng(2).permutation(g.n)
+            _, iters = compute_le_lists(g, rank)
+            assert iters <= shortest_path_diameter(g)
+
+    def test_rank_validation(self):
+        g = gen.cycle(6)
+        with pytest.raises(ValueError):
+            compute_le_lists(g, np.zeros(6, dtype=np.int64))
+        with pytest.raises(ValueError):
+            compute_le_lists(g, np.arange(5))
+
+    def test_length_logarithmic(self):
+        # Lemma 7.6: |LE list| ∈ O(log n) w.h.p.
+        g = gen.random_graph(400, 1200, rng=5)
+        lengths = []
+        for seed in range(5):
+            rank = np.random.default_rng(seed).permutation(g.n)
+            lists, _ = compute_le_lists(g, rank)
+            lengths.append(max_list_length(lists))
+        assert max(lengths) <= 4 * np.log2(g.n)
+
+    def test_harmonic_expected_length(self):
+        # E|LE list| = H_n ≈ ln n for the list of distances from one vertex.
+        g = gen.star(200, rng=0)
+        tot = 0.0
+        reps = 20
+        for seed in range(reps):
+            rank = np.random.default_rng(seed).permutation(g.n)
+            lists, _ = compute_le_lists(g, rank)
+            tot += lists.counts().mean()
+        avg = tot / reps
+        assert 0.3 * np.log(g.n) <= avg <= 3 * np.log(g.n)
+
+    def test_as_arrays(self):
+        g = gen.cycle(8, rng=0)
+        rank = np.random.default_rng(0).permutation(8)
+        lists, _ = compute_le_lists(g, rank)
+        arrays = le_lists_as_arrays(lists)
+        assert len(arrays) == 8
+        ids, dists = arrays[3]
+        assert np.all(np.diff(dists) >= 0)
+
+
+class TestTreeConstruction:
+    def _tree(self, g, seed=0, beta=1.5):
+        rank = np.random.default_rng(seed).permutation(g.n)
+        lists, _ = compute_le_lists(g, rank)
+        wmin, _ = g.weight_bounds()
+        return build_frt_tree(lists, rank, beta, wmin), rank
+
+    def test_basic_shape(self):
+        g = gen.grid(4, 4, rng=0)
+        tree, _ = self._tree(g)
+        assert tree.n == 16
+        assert tree.num_nodes >= tree.k + 1
+        # one root
+        assert int(np.sum(tree.parent < 0)) == 1
+
+    def test_leaves_are_vertices(self):
+        g = gen.cycle(10, rng=1)
+        tree, _ = self._tree(g)
+        leaves = {tree.leaf_of(v) for v in range(10)}
+        assert len(leaves) == 10
+        for v in range(10):
+            assert tree.node_leading[tree.leaf_of(v)] == v
+            assert tree.node_level[tree.leaf_of(v)] == 0
+
+    def test_root_is_min_rank_vertex(self):
+        g = gen.random_graph(20, 40, rng=2)
+        tree, rank = self._tree(g, seed=3)
+        assert tree.node_leading[tree.root] == np.argmin(rank)
+
+    def test_parent_levels_consistent(self):
+        g = gen.random_graph(15, 30, rng=4)
+        tree, _ = self._tree(g)
+        for node in range(tree.num_nodes):
+            p = tree.parent[node]
+            if p >= 0:
+                assert tree.node_level[p] == tree.node_level[node] + 1
+
+    def test_distance_via_networkx(self):
+        import networkx as nx
+
+        g = gen.grid(3, 4, rng=5)
+        tree, _ = self._tree(g, seed=6)
+        T = tree.to_networkx()
+        for u, v in [(0, 11), (3, 7), (1, 2)]:
+            want = nx.shortest_path_length(
+                T, tree.leaf_of(u), tree.leaf_of(v), weight="weight"
+            )
+            assert tree.distance(u, v) == pytest.approx(want)
+
+    def test_distance_matrix_symmetric_zero_diag(self):
+        g = gen.cycle(9, rng=7)
+        tree, _ = self._tree(g)
+        M = tree.distance_matrix()
+        assert np.allclose(M, M.T)
+        assert np.all(np.diag(M) == 0)
+
+    def test_tree_metric_four_point(self):
+        # Any tree metric satisfies the four-point condition.
+        g = gen.random_graph(12, 25, rng=8)
+        tree, _ = self._tree(g, seed=9)
+        M = tree.distance_matrix()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b, c, d = rng.choice(12, size=4, replace=False)
+            s1 = M[a, b] + M[c, d]
+            s2 = M[a, c] + M[b, d]
+            s3 = M[a, d] + M[b, c]
+            top2 = sorted([s1, s2, s3])[1:]
+            assert top2[0] == pytest.approx(top2[1])
+
+    def test_children_lists(self):
+        g = gen.cycle(7, rng=1)
+        tree, _ = self._tree(g)
+        children = tree.children_lists()
+        for node, p in enumerate(tree.parent):
+            if p >= 0:
+                assert node in children[p]
+        # leaves have no children
+        for v in range(7):
+            assert children[tree.leaf_of(v)] == []
+
+    def test_edge_weight_above(self):
+        g = gen.cycle(7, rng=1)
+        tree, _ = self._tree(g)
+        leaf = tree.leaf_of(0)
+        assert tree.edge_weight_above(leaf) == pytest.approx(tree.edge_weights[0])
+        with pytest.raises(ValueError):
+            tree.edge_weight_above(tree.root)
+
+    def test_beta_validation(self):
+        g = gen.cycle(6, rng=0)
+        rank = np.random.default_rng(0).permutation(6)
+        lists, _ = compute_le_lists(g, rank)
+        with pytest.raises(ValueError):
+            build_frt_tree(lists, rank, 2.5, 1.0)
+        with pytest.raises(ValueError):
+            build_frt_tree(lists, rank, 1.5, 0.0)
+
+    def test_wmin_must_lower_bound_distances(self):
+        g = gen.cycle(6, wmin=1, wmax=1, rng=0)
+        rank = np.random.default_rng(0).permutation(6)
+        lists, _ = compute_le_lists(g, rank)
+        with pytest.raises(ValueError):
+            build_frt_tree(lists, rank, 1.0, 10.0)  # r_0 swallows neighbors
+
+
+class TestDominanceAndStretch:
+    def test_dominance_exhaustive(self, small_graphs):
+        """dist_T >= dist_G for every pair, every seed — Definition 7.1."""
+        for g in small_graphs:
+            DG = dijkstra_distances(g)
+            for seed in range(4):
+                res = sample_frt_tree(g, rng=seed)
+                MT = res.tree.distance_matrix()
+                assert np.all(MT >= DG - 1e-9), f"domination violated (seed={seed})"
+
+    def test_distance_upper_bound_at_lca(self):
+        # dist_T(u,v) <= 4 * r_{lca level} by the geometric sum.
+        g = gen.grid(4, 4, rng=3)
+        res = sample_frt_tree(g, rng=1)
+        tree = res.tree
+        iu, ju = np.triu_indices(16, k=1)
+        lvl = tree.lca_levels(iu, ju)
+        d = tree.distances(iu, ju)
+        assert np.all(d <= 4.0 * tree.radii[lvl] + 1e-9)
+
+    def test_expected_stretch_reasonable(self):
+        from repro.frt import evaluate_stretch
+
+        g = gen.cycle(32, rng=2)
+        shared = np.random.default_rng(11)
+        report = evaluate_stretch(
+            g, lambda: sample_frt_tree(g, rng=shared).tree, trees=20, rng=4
+        )
+        assert report.dominating
+        # O(log n) with a sane constant (paper: 128 ln n-ish worst case;
+        # doubled weights add ≤ 2x; empirically ~2-6 log2 n on cycles,
+        # plus finite-sample noise in the max over pairs).
+        assert report.max_expected_stretch <= 12 * np.log2(g.n)
+
+    def test_single_tree_stretch_can_exceed_expectation(self):
+        g = gen.cycle(32, rng=2)
+        from repro.frt import evaluate_stretch
+
+        shared = np.random.default_rng(13)
+        report = evaluate_stretch(
+            g, lambda: sample_frt_tree(g, rng=shared).tree, trees=20, rng=4
+        )
+        assert report.max_stretch_single >= report.max_expected_stretch
+
+
+class TestSampleFRTTree:
+    def test_reproducible_with_seed(self):
+        g = gen.random_graph(20, 45, rng=0)
+        a = sample_frt_tree(g, rng=42)
+        b = sample_frt_tree(g, rng=42)
+        assert a.beta == b.beta
+        assert np.array_equal(a.rank, b.rank)
+        assert np.array_equal(a.tree.level_ids, b.tree.level_ids)
+
+    def test_explicit_beta_rank(self):
+        g = gen.cycle(8, rng=0)
+        rank = np.arange(8)
+        res = sample_frt_tree(g, rng=0, rank=rank, beta=1.25)
+        assert res.beta == 1.25
+        assert np.array_equal(res.rank, rank)
+        assert res.tree.node_leading[res.tree.root] == 0
+
+    def test_disconnected_rejected(self):
+        from repro.graph.core import Graph
+
+        g = Graph.from_edge_list(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError):
+            sample_frt_tree(g)
+
+    def test_iterations_recorded(self):
+        g = gen.path_graph(16)
+        res = sample_frt_tree(g, rng=1)
+        assert 1 <= res.iterations <= 15

@@ -1,0 +1,143 @@
+"""Tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.shortest_paths import shortest_path_diameter
+
+
+class TestCycleAndPath:
+    def test_cycle_shape(self):
+        g = gen.cycle(8)
+        assert g.n == 8 and g.m == 8
+        assert np.all(g.degrees() == 2)
+        assert g.is_connected()
+
+    def test_cycle_min_size(self):
+        with pytest.raises(ValueError):
+            gen.cycle(2)
+
+    def test_path_spd(self):
+        g = gen.path_graph(10)
+        assert shortest_path_diameter(g) == 9
+
+    def test_cycle_spd_half(self):
+        g = gen.cycle(12)
+        assert shortest_path_diameter(g) == 6
+
+    def test_weighted_cycle_reproducible(self):
+        a = gen.cycle(6, wmin=1, wmax=3, rng=5)
+        b = gen.cycle(6, wmin=1, wmax=3, rng=5)
+        assert a == b
+
+
+class TestGrid:
+    def test_shape(self):
+        g = gen.grid(3, 5)
+        assert g.n == 15
+        assert g.m == 3 * 4 + 2 * 5  # horizontal + vertical
+        assert g.is_connected()
+
+    def test_corner_degree(self):
+        g = gen.grid(3, 3)
+        assert g.degrees()[0] == 2  # corner
+
+    def test_rejects_single_vertex(self):
+        with pytest.raises(ValueError):
+            gen.grid(1, 1)
+
+
+class TestRandomGraph:
+    def test_connected_and_sized(self):
+        g = gen.random_graph(30, 60, rng=1)
+        assert g.n == 30 and g.m == 60
+        assert g.is_connected()
+
+    def test_default_m(self):
+        g = gen.random_graph(10, rng=1)
+        assert g.m == 30
+
+    def test_spanning_tree_only(self):
+        g = gen.random_graph(15, 14, rng=2)
+        assert g.m == 14 and g.is_connected()
+
+    def test_dense_request(self):
+        n = 10
+        g = gen.random_graph(n, n * (n - 1) // 2, rng=3)
+        assert g.m == n * (n - 1) // 2
+
+    def test_rejects_too_few_edges(self):
+        with pytest.raises(ValueError):
+            gen.random_graph(10, 5)
+
+    def test_rejects_too_many_edges(self):
+        with pytest.raises(ValueError):
+            gen.random_graph(4, 7)
+
+    def test_no_duplicate_edges(self):
+        g = gen.random_graph(20, 80, rng=4)
+        key = np.minimum(g.edges[:, 0], g.edges[:, 1]) * g.n + np.maximum(
+            g.edges[:, 0], g.edges[:, 1]
+        )
+        assert np.unique(key).size == key.size
+
+
+class TestOtherFamilies:
+    def test_star(self):
+        g = gen.star(7)
+        assert g.degrees()[0] == 6
+        assert shortest_path_diameter(g) == 2
+
+    def test_tree_is_tree(self):
+        g = gen.weighted_tree(20, rng=0)
+        assert g.m == 19 and g.is_connected()
+
+    def test_complete(self):
+        g = gen.complete_graph(6, rng=0)
+        assert g.m == 15
+        assert shortest_path_diameter(g) <= 5
+
+    def test_random_regular(self):
+        g = gen.random_regular(16, 4, rng=0)
+        assert np.all(g.degrees() == 4)
+        assert g.is_connected()
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            gen.random_regular(9, 3)
+
+    def test_barbell(self):
+        g = gen.barbell(4, bridge_len=3)
+        assert g.is_connected()
+        # two K4s plus bridge edges
+        assert g.m == 2 * 6 + 3
+
+
+class TestLowerBoundInstance:
+    def test_structure(self):
+        g, light = gen.lower_bound_instance(20, 40, rng=0)
+        assert g.n == 20 and g.m == 40
+        assert g.is_connected()
+
+    def test_light_edge_flagging(self):
+        seen_light = seen_none = False
+        for seed in range(20):
+            g, light = gen.lower_bound_instance(12, 30, rng=seed)
+            if light is None:
+                seen_none = True
+            else:
+                assert g.weights[light] == 1.0
+                u, v = g.edges[light]
+                assert (u < 6) != (v < 6)  # crosses the cut
+                seen_light = True
+        assert seen_light and seen_none  # both outcomes occur w.p. 1/2
+
+    def test_heavy_weight_dominates(self):
+        g, light = gen.lower_bound_instance(12, 30, rng=1)
+        heavy = g.weights.max()
+        assert heavy > 12 * np.log2(12)
+
+    def test_rejects_odd_n(self):
+        with pytest.raises(ValueError):
+            gen.lower_bound_instance(7, 20)

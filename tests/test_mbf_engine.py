@@ -1,0 +1,133 @@
+"""Tests for the reference MBF engine and the framework guarantees."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algebra import DistanceMapModule, MinPlus, SemiringAsModule
+from repro.graph import generators as gen
+from repro.graph.shortest_paths import (
+    dijkstra_distances,
+    hop_limited_distances,
+    shortest_path_diameter,
+)
+from repro.mbf import filters, run, run_to_fixpoint, zoo
+from repro.mbf.algorithm import MBFAlgorithm
+from repro.mbf.engine import iterate
+from tests.conftest import triangle_graph
+
+INF = math.inf
+
+
+class TestIterate:
+    def test_sssp_one_iteration(self):
+        g = triangle_graph()
+        inst = zoo.sssp(3, 0)
+        s1 = iterate(g, inst.algo, inst.x0)
+        assert inst.decode(s1).tolist() == [0.0, 1.0, 4.0]
+
+    def test_state_length_validated(self):
+        g = triangle_graph()
+        inst = zoo.sssp(3, 0)
+        with pytest.raises(ValueError):
+            iterate(g, inst.algo, inst.x0[:2])
+
+    def test_diagonal_keeps_information(self):
+        # With no neighbors improving, state is unchanged (a_vv = one).
+        g = gen.path_graph(2)
+        inst = zoo.sssp(2, 0)
+        s1 = iterate(g, inst.algo, [0.0, 0.5])
+        assert s1[0] == 0.0  # not degraded by neighbor's 0.5 + 1.0
+
+
+class TestRun:
+    def test_h_iterations_match_hop_limited(self, small_graphs):
+        # Lemma 3.1: x^(h) = A^h x^(0) has entries dist^h(v, w, G).
+        for g in small_graphs:
+            inst = zoo.apsp(g.n)
+            for h in (0, 1, 2, 3):
+                got = inst.decode(run(g, inst.algo, inst.x0, h))
+                want = hop_limited_distances(g, h)
+                assert np.allclose(got, want)
+
+    def test_negative_h_rejected(self):
+        g = triangle_graph()
+        inst = zoo.apsp(3)
+        with pytest.raises(ValueError):
+            run(g, inst.algo, inst.x0, -1)
+
+    def test_filter_interleaving_invariance(self, small_graphs):
+        # Corollary 2.17: filtering every iteration == filtering once at end.
+        for g in small_graphs[:4]:
+            rank = np.random.default_rng(0).permutation(g.n)
+            algo = MBFAlgorithm(DistanceMapModule(g.n), filter=filters.le_list(rank))
+            x0 = [{v: 0.0} for v in range(g.n)]
+            a = run(g, algo, x0, 3, apply_filter=True)
+            b = run(g, algo, x0, 3, apply_filter=False)
+            assert algo.states_equal(a, b)
+
+    def test_filter_interleaving_source_detection(self, small_graphs):
+        for g in small_graphs[:4]:
+            algo = MBFAlgorithm(
+                DistanceMapModule(g.n),
+                filter=filters.source_detection([0, 1], k=2, dmax=10.0),
+            )
+            x0 = [{v: 0.0} if v in (0, 1) else {} for v in range(g.n)]
+            a = run(g, algo, x0, 3, apply_filter=True)
+            b = run(g, algo, x0, 3, apply_filter=False)
+            assert algo.states_equal(a, b)
+
+
+class TestFixpoint:
+    def test_apsp_fixpoint_at_spd(self, small_graphs):
+        # Definition 2.11: fixpoint after SPD(G) iterations.
+        for g in small_graphs:
+            inst = zoo.apsp(g.n)
+            states, iters = run_to_fixpoint(g, inst.algo, inst.x0)
+            assert iters == shortest_path_diameter(g)
+            assert np.allclose(inst.decode(states), dijkstra_distances(g))
+
+    def test_fixpoint_cap_raises(self):
+        g = triangle_graph()
+
+        # A broken "filter" that alternates states forever.
+        class Flip:
+            def __init__(self):
+                self.t = 0
+
+            def __call__(self, x):
+                self.t += 1
+                out = dict(x)
+                out[0] = float(self.t % 2) + 1.0
+                return out
+
+        algo = MBFAlgorithm(DistanceMapModule(3), filter=Flip())
+        with pytest.raises(RuntimeError):
+            run_to_fixpoint(g, algo, [{v: 0.0} for v in range(3)], max_iterations=5)
+
+    def test_sssp_fixpoint(self):
+        g = gen.path_graph(6)
+        inst = zoo.sssp(6, 0)
+        states, iters = run_to_fixpoint(g, inst.algo, inst.x0)
+        assert iters == 5
+        assert inst.decode(states).tolist() == [0, 1, 2, 3, 4, 5]
+
+
+class TestNonSimpleLinearCounterexample:
+    def test_example_2_18(self):
+        """Example 2.18: a non-simple linear function breaks r^V f ~ f r^V."""
+        M = DistanceMapModule(2)
+
+        def f(x):  # f((x1, x2)) = ((x11 ⊕ x12, inf), ⊥) — not an SLF
+            x1 = x[0]
+            merged = min(x1.get(0, INF), x1.get(1, INF))
+            return [{0: merged} if merged != INF else {}, {}]
+
+        def r(x):  # keep only coordinate 0
+            return {0: x[0]} if 0 in x else {}
+
+        x = [{0: 2.0, 1: 1.0}, {}]
+        lhs = [r(s) for s in f([r(s) for s in x])]
+        rhs = [r(s) for s in f(x)]
+        assert lhs != rhs  # (2, inf) vs (1, inf) — the paper's counterexample

@@ -1,0 +1,186 @@
+"""Tests for distance computations: exact, hop-limited, SPD, hop diameter."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.core import Graph
+from repro.graph.shortest_paths import (
+    dijkstra_distances,
+    hop_diameter,
+    hop_limited_distances,
+    min_hop_of_shortest_path,
+    shortest_path_diameter,
+)
+from tests.conftest import triangle_graph
+
+
+def nx_distances(G: Graph) -> np.ndarray:
+    out = np.full((G.n, G.n), np.inf)
+    for s, dd in nx.all_pairs_dijkstra_path_length(G.to_networkx()):
+        for t, d in dd.items():
+            out[s, t] = d
+    return out
+
+
+class TestDijkstra:
+    def test_matches_networkx(self, small_graphs):
+        for g in small_graphs:
+            D = dijkstra_distances(g)
+            assert np.allclose(D, nx_distances(g))
+
+    def test_single_source(self):
+        g = triangle_graph()
+        d = dijkstra_distances(g, [0])[0]
+        assert d.tolist() == [0.0, 1.0, 3.0]  # 0-2 via 1 is cheaper than direct
+
+    def test_subset_of_sources(self):
+        g = gen.grid(3, 3, rng=0)
+        D_all = dijkstra_distances(g)
+        D_sub = dijkstra_distances(g, [2, 5])
+        assert np.allclose(D_sub, D_all[[2, 5]])
+
+
+class TestHopLimited:
+    def test_zero_hops(self):
+        g = triangle_graph()
+        D = hop_limited_distances(g, 0)
+        assert np.isinf(D[0, 1])
+        assert D[0, 0] == 0.0
+
+    def test_one_hop_is_adjacency(self):
+        g = triangle_graph()
+        D = hop_limited_distances(g, 1)
+        assert D[0, 2] == 4.0  # direct edge only, no 2-hop path yet
+
+    def test_two_hops_improves(self):
+        g = triangle_graph()
+        D = hop_limited_distances(g, 2)
+        assert D[0, 2] == 3.0
+
+    def test_monotone_in_h(self, small_graphs):
+        for g in small_graphs:
+            prev = hop_limited_distances(g, 0)
+            for h in range(1, 4):
+                cur = hop_limited_distances(g, h)
+                assert np.all(cur <= prev + 1e-12)
+                prev = cur
+
+    def test_converges_to_exact(self, small_graphs):
+        for g in small_graphs:
+            D = hop_limited_distances(g, g.n)
+            assert np.allclose(D, dijkstra_distances(g))
+
+    def test_against_bellman_ford_path(self):
+        # dist^h on a path: vertex i reachable from 0 only within i hops.
+        g = gen.path_graph(6)
+        for h in range(6):
+            D = hop_limited_distances(g, h, [0])[0]
+            for v in range(6):
+                if v <= h:
+                    assert D[v] == v
+                else:
+                    assert np.isinf(D[v])
+
+    def test_sources_subset_and_block(self):
+        g = gen.random_graph(20, 40, rng=3)
+        full = hop_limited_distances(g, 3)
+        sub = hop_limited_distances(g, 3, [4, 9, 17], block=2)
+        assert np.allclose(sub, full[[4, 9, 17]])
+
+    def test_negative_h_rejected(self):
+        with pytest.raises(ValueError):
+            hop_limited_distances(triangle_graph(), -1)
+
+
+class TestSPD:
+    def test_path(self):
+        assert shortest_path_diameter(gen.path_graph(9)) == 8
+
+    def test_cycle_even(self):
+        assert shortest_path_diameter(gen.cycle(10)) == 5
+
+    def test_star(self):
+        assert shortest_path_diameter(gen.star(8)) == 2
+
+    def test_single_vertex(self):
+        g = Graph(1, np.empty((0, 2), dtype=np.int64), [])
+        assert shortest_path_diameter(g) == 0
+
+    def test_complete_unit_weights(self):
+        g = gen.complete_graph(7, wmin=1, wmax=1, rng=0)
+        assert shortest_path_diameter(g) == 1
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edge_list(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError):
+            shortest_path_diameter(g)
+
+    def test_consistent_with_hop_limited(self, small_graphs):
+        for g in small_graphs:
+            spd = shortest_path_diameter(g)
+            exact = dijkstra_distances(g)
+            assert np.allclose(hop_limited_distances(g, spd), exact)
+            if spd > 0:
+                assert not np.allclose(hop_limited_distances(g, spd - 1), exact)
+
+    def test_matches_min_hop_definition(self, small_graphs):
+        # SPD = max over sources of max min-hop-of-shortest-path.
+        for g in small_graphs:
+            spd = shortest_path_diameter(g)
+            hop_max = max(
+                int(min_hop_of_shortest_path(g, s).max()) for s in range(g.n)
+            )
+            assert spd == hop_max
+
+    def test_block_parameter(self):
+        g = gen.cycle(13, rng=0)
+        assert shortest_path_diameter(g, block=3) == shortest_path_diameter(g)
+
+
+class TestHopDiameter:
+    def test_path(self):
+        assert hop_diameter(gen.path_graph(7)) == 6
+
+    def test_weighted_cycle_ignores_weights(self):
+        g = gen.cycle(8, wmin=0.1, wmax=9.0, rng=1)
+        assert hop_diameter(g) == 4
+
+    def test_star(self):
+        assert hop_diameter(gen.star(9)) == 2
+
+    def test_le_spd_possible(self):
+        # D(G) <= SPD(G) always (hop diameter counts any path).
+        for seed in range(3):
+            g = gen.random_graph(15, 25, rng=seed)
+            assert hop_diameter(g) <= shortest_path_diameter(g)
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edge_list(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError):
+            hop_diameter(g)
+
+
+class TestMinHop:
+    def test_triangle(self):
+        g = triangle_graph()
+        hops = min_hop_of_shortest_path(g, 0)
+        assert hops.tolist() == [0, 1, 2]  # 0-2 shortest path goes via 1
+
+    def test_tie_prefers_fewer_hops(self):
+        # Two shortest 0-3 paths: direct (1 hop, weight 2) and via 1-2 (weight 2).
+        g = Graph.from_edge_list(
+            4, [(0, 3, 2.0), (0, 1, 1.0), (1, 2, 0.5), (2, 3, 0.5)]
+        )
+        hops = min_hop_of_shortest_path(g, 0)
+        assert hops[3] == 1
+
+    def test_unreachable_marked(self):
+        g = Graph.from_edge_list(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        hops = min_hop_of_shortest_path(g, 0)
+        assert hops[2] == -1 and hops[3] == -1
+
+    def test_source_zero(self):
+        g = gen.grid(3, 3, rng=0)
+        assert min_hop_of_shortest_path(g, 4)[4] == 0

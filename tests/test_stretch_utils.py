@@ -1,0 +1,87 @@
+"""Tests for stretch-evaluation utilities (repro.frt.stretch)."""
+
+import numpy as np
+import pytest
+
+from repro.frt import evaluate_stretch, sample_frt_tree
+from repro.frt.stretch import StretchReport, sample_pairs
+from repro.graph import generators as gen
+from repro.graph.core import Graph
+
+
+class TestSamplePairs:
+    def test_all_pairs_when_count_none(self):
+        us, vs = sample_pairs(6, None)
+        assert us.size == 15
+        assert np.all(us < vs)
+
+    def test_all_pairs_when_count_large(self):
+        us, vs = sample_pairs(5, 100)
+        assert us.size == 10
+
+    def test_subset_distinct_valid(self):
+        us, vs = sample_pairs(40, 25, rng=0)
+        assert us.size == 25
+        assert np.all((0 <= us) & (us < 40))
+        assert np.all(us < vs) and np.all(vs < 40)
+        keys = us * 40 + vs
+        assert np.unique(keys).size == keys.size
+
+    def test_reproducible(self):
+        a = sample_pairs(30, 10, rng=3)
+        b = sample_pairs(30, 10, rng=3)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_unranking_covers_extremes(self):
+        # With count == total the unranking path is bypassed; with total-1
+        # we exercise it broadly and must stay in range.
+        n = 12
+        total = n * (n - 1) // 2
+        us, vs = sample_pairs(n, total - 1, rng=4)
+        assert us.size == total - 1
+        assert np.all(us < vs)
+
+
+class TestEvaluateStretch:
+    def test_report_fields(self):
+        g = gen.grid(3, 4, rng=0)
+        shared = np.random.default_rng(1)
+        rep = evaluate_stretch(
+            g, lambda: sample_frt_tree(g, rng=shared).tree, trees=3, rng=2
+        )
+        assert isinstance(rep, StretchReport)
+        assert rep.trees == 3 and rep.pairs == 66
+        assert rep.mean_stretch <= rep.max_expected_stretch + 1e-9
+        assert rep.max_expected_stretch <= rep.max_stretch_single + 1e-9
+        assert rep.expected_stretch_vs_log(g.n) == pytest.approx(
+            rep.max_expected_stretch / np.log2(g.n)
+        )
+
+    def test_pairs_subset(self):
+        g = gen.grid(3, 4, rng=0)
+        shared = np.random.default_rng(1)
+        rep = evaluate_stretch(
+            g, lambda: sample_frt_tree(g, rng=shared).tree, trees=2, pairs=7, rng=2
+        )
+        assert rep.pairs == 7
+
+    def test_trees_validation(self):
+        g = gen.cycle(5, rng=0)
+        with pytest.raises(ValueError):
+            evaluate_stretch(g, lambda: None, trees=0)
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edge_list(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError):
+            evaluate_stretch(g, lambda: None, trees=1)
+
+    def test_detects_non_dominating_sampler(self):
+        # A fake "tree" reporting tiny distances must flip the flag.
+        g = gen.cycle(6, rng=0)
+
+        class Fake:
+            def distances(self, us, vs):
+                return np.full(np.atleast_1d(us).size, 1e-6)
+
+        rep = evaluate_stretch(g, lambda: Fake(), trees=1, rng=1)
+        assert not rep.dominating

@@ -1,0 +1,87 @@
+"""Tests for repro.util (rng coercion, validation helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.util import as_rng, check_index, check_positive, check_probability, require, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_numpy_integer_seed(self):
+        g = as_rng(np.int64(7))
+        assert isinstance(g, np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count_and_type(self):
+        children = spawn_rngs(1, 4)
+        assert len(children) == 4
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_reproducible(self):
+        a = [c.random() for c in spawn_rngs(9, 3)]
+        b = [c.random() for c in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_children_differ(self):
+        a, b = spawn_rngs(3, 2)
+        assert a.random() != b.random()
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_check_positive_strict(self):
+        assert check_positive(2.5, "x") == 2.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_check_positive_nonstrict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(-0.1, "x", strict=False)
+
+    def test_check_positive_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(0, "p") == 0.0
+        assert check_probability(1, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.1, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+    def test_check_index(self):
+        assert check_index(3, 5, "i") == 3
+        with pytest.raises(ValueError):
+            check_index(5, 5, "i")
+        with pytest.raises(ValueError):
+            check_index(-1, 5, "i")
+        with pytest.raises(TypeError):
+            check_index(1.5, 5, "i")

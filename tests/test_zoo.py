@@ -1,0 +1,261 @@
+"""The Section-3 algorithm zoo vs. independent ground truth (networkx/scipy)."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.core import Graph
+from repro.graph.shortest_paths import dijkstra_distances, shortest_path_diameter
+from repro.mbf import run, run_to_fixpoint, zoo
+
+INF = math.inf
+
+
+def nx_widest_paths(G: Graph, source: int) -> np.ndarray:
+    """Ground-truth widest path via max-spanning-tree property."""
+    nxg = G.to_networkx()
+    out = np.zeros(G.n)
+    out[source] = INF
+    # Widest paths are realized on a maximum spanning tree.
+    mst = nx.maximum_spanning_tree(nxg, weight="weight")
+    for t in range(G.n):
+        if t == source:
+            continue
+        path = nx.shortest_path(mst, source, t)
+        out[t] = min(
+            mst[u][v]["weight"] for u, v in zip(path[:-1], path[1:])
+        )
+    return out
+
+
+class TestSSSP:
+    def test_matches_dijkstra(self, small_graphs):
+        for g in small_graphs:
+            inst = zoo.sssp(g.n, 0)
+            states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+            assert np.allclose(inst.decode(states), dijkstra_distances(g, [0])[0])
+
+    def test_h_hop_semantics(self):
+        g = gen.path_graph(5)
+        inst = zoo.sssp(5, 0)
+        got = inst.decode(run(g, inst.algo, inst.x0, 2))
+        assert got.tolist() == [0, 1, 2, INF, INF]
+
+
+class TestSourceDetection:
+    def test_k_and_distance_limits(self):
+        # Path 0-1-2-3-4, sources {0, 4}, k=1, d=2.
+        g = gen.path_graph(5)
+        inst = zoo.source_detection(5, [0, 4], k=1, dmax=2.0)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        out = inst.decode(states)
+        assert out[1, 0] == 1.0  # node 1 sees source 0
+        assert np.isinf(out[3, 0])  # source 0 at distance 3 > dmax
+        assert out[3, 4] == 1.0
+        # k=1: node 2 is at distance 2 from both; keeps smaller id 0.
+        assert out[2, 0] == 2.0 and np.isinf(out[2, 4])
+
+    def test_full_parameters_vs_bruteforce(self, small_graphs):
+        for g in small_graphs[:4]:
+            D = dijkstra_distances(g)
+            S, k, dmax = [0, 2, 3], 2, 3.5
+            inst = zoo.source_detection(g.n, S, k=k, dmax=dmax)
+            states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+            out = inst.decode(states)
+            for v in range(g.n):
+                cand = sorted((D[v, s], s) for s in S if D[v, s] <= dmax)[:k]
+                want = {s: d for d, s in cand}
+                got = {w: out[v, w] for w in range(g.n) if np.isfinite(out[v, w])}
+                assert got == pytest.approx(want)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            zoo.source_detection(4, [0], k=0)
+
+
+class TestKSSPAndMSSP:
+    def test_kssp_counts(self):
+        g = gen.cycle(8, rng=0)
+        k = 3
+        inst = zoo.k_ssp(g.n, k)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        out = inst.decode(states)
+        assert np.all(np.isfinite(out).sum(axis=1) == k)
+
+    def test_kssp_selects_closest(self, small_graphs):
+        g = small_graphs[4]  # random graph
+        D = dijkstra_distances(g)
+        k = 4
+        inst = zoo.k_ssp(g.n, k)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        out = inst.decode(states)
+        for v in range(g.n):
+            want = {s: D[v, s] for D_s, s in sorted((D[v, s], s) for s in range(g.n))[:k] for s in [s]}
+            got = {w: out[v, w] for w in range(g.n) if np.isfinite(out[v, w])}
+            assert got == pytest.approx(want)
+
+    def test_mssp(self, small_graphs):
+        g = small_graphs[2]
+        D = dijkstra_distances(g)
+        S = [1, 5, 7]
+        inst = zoo.mssp(g.n, S)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        out = inst.decode(states)
+        for v in range(g.n):
+            for s in S:
+                assert out[v, s] == pytest.approx(D[v, s])
+
+
+class TestAPSP:
+    def test_matches_dijkstra(self, small_graphs):
+        for g in small_graphs:
+            inst = zoo.apsp(g.n)
+            states, iters = run_to_fixpoint(g, inst.algo, inst.x0)
+            assert np.allclose(inst.decode(states), dijkstra_distances(g))
+            assert iters == shortest_path_diameter(g)
+
+
+class TestForestFire:
+    def test_detection_radius(self):
+        g = gen.path_graph(6)  # unit weights
+        inst = zoo.forest_fire(6, burning=[0], dmax=2.5)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        assert inst.decode(states).tolist() == [True, True, True, False, False, False]
+
+    def test_multiple_fires(self):
+        g = gen.path_graph(7)
+        inst = zoo.forest_fire(7, burning=[0, 6], dmax=1.0)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        assert inst.decode(states).tolist() == [
+            True, True, False, False, False, True, True,
+        ]
+
+    def test_no_fire(self):
+        g = gen.path_graph(4)
+        inst = zoo.forest_fire(4, burning=[], dmax=10.0)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        assert not inst.decode(states).any()
+
+
+class TestWidestPaths:
+    def test_sswp_matches_mst_ground_truth(self, small_graphs):
+        for g in small_graphs[:5]:
+            inst = zoo.sswp(g.n, 0)
+            states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+            got = inst.decode(states)
+            want = nx_widest_paths(g, 0)
+            assert np.allclose(got, want)
+
+    def test_apwp_symmetric(self, small_graphs):
+        g = small_graphs[1]
+        inst = zoo.apwp(g.n)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        W = inst.decode(states)
+        assert np.allclose(W, W.T)
+        assert np.all(np.isinf(np.diag(W)))
+
+    def test_apwp_row_matches_sswp(self, small_graphs):
+        g = small_graphs[4]
+        ap = zoo.apwp(g.n)
+        states, _ = run_to_fixpoint(g, ap.algo, ap.x0)
+        W = ap.decode(states)
+        ss = zoo.sswp(g.n, 3)
+        s_states, _ = run_to_fixpoint(g, ss.algo, ss.x0)
+        assert np.allclose(W[3], ss.decode(s_states))
+
+    def test_mswp_subset(self, small_graphs):
+        g = small_graphs[2]
+        S = [0, 4]
+        inst = zoo.mswp(g.n, S)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        W = inst.decode(states)
+        full = zoo.apwp(g.n)
+        f_states, _ = run_to_fixpoint(g, full.algo, full.x0)
+        WF = full.decode(f_states)
+        assert np.allclose(W[:, S], WF[:, S])
+        others = [v for v in range(g.n) if v not in S]
+        assert np.all(W[:, others] == 0)
+
+    def test_bottleneck_on_path(self):
+        g = Graph.from_edge_list(4, [(0, 1, 5.0), (1, 2, 2.0), (2, 3, 9.0)])
+        inst = zoo.sswp(4, 0)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        assert inst.decode(states).tolist() == [INF, 5.0, 2.0, 2.0]
+
+
+class TestKSDP:
+    def test_k_shortest_distances_diamond(self):
+        # Two 0->3 paths of weights 3 and 4; a third of weight 7.
+        g = Graph.from_edge_list(
+            4, [(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 2.0), (0, 3, 7.0)]
+        )
+        inst = zoo.k_sdp(4, k=2, sink=3)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        out = inst.decode(states)
+        weights0 = [w for w, _ in out[0]]
+        assert weights0 == [3.0, 4.0]
+
+    def test_paths_are_returned(self):
+        g = Graph.from_edge_list(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        inst = zoo.k_sdp(3, k=2, sink=2)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        out = inst.decode(states)
+        assert out[0][0] == (2.0, (0, 1, 2))
+        assert out[0][1] == (5.0, (0, 2))
+
+    def test_matches_networkx_simple_paths(self):
+        g = gen.random_graph(7, 12, rng=5)
+        k, sink = 3, 6
+        inst = zoo.k_sdp(g.n, k=k, sink=sink)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        out = inst.decode(states)
+        nxg = g.to_networkx()
+        for v in range(g.n):
+            if v == sink:
+                continue
+            all_paths = [
+                sum(nxg[a][b]["weight"] for a, b in zip(p[:-1], p[1:]))
+                for p in nx.all_simple_paths(nxg, v, sink)
+            ]
+            want = sorted(all_paths)[:k]
+            got = [w for w, _ in out[v]]
+            assert got == pytest.approx(want)
+
+    def test_distinct_variant(self):
+        # Two distinct paths of equal weight 2: k-DSDP keeps one per weight.
+        g = Graph.from_edge_list(
+            4, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)]
+        )
+        sdp = zoo.k_sdp(4, k=2, sink=3)
+        s1, _ = run_to_fixpoint(g, sdp.algo, sdp.x0)
+        assert [w for w, _ in sdp.decode(s1)[0]] == [2.0, 2.0]
+        dsdp = zoo.k_dsdp(4, k=2, sink=3)
+        s2, _ = run_to_fixpoint(g, dsdp.algo, dsdp.x0)
+        out = dsdp.decode(s2)[0]
+        weights = [w for w, _ in out]
+        assert len(weights) == len(set(weights))  # distinct weights only
+
+
+class TestConnectivity:
+    def test_connected_graph_all_true(self, small_graphs):
+        g = small_graphs[0]
+        inst = zoo.connectivity(g.n)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        assert inst.decode(states).all()
+
+    def test_disconnected_components(self):
+        g = Graph.from_edge_list(5, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        inst = zoo.connectivity(g.n)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        out = inst.decode(states)
+        assert out[0, 2] and out[3, 4]
+        assert not out[0, 3] and not out[4, 1]
+
+    def test_h_hop_reachability(self):
+        g = gen.path_graph(5)
+        inst = zoo.connectivity(5)
+        out = inst.decode(run(g, inst.algo, inst.x0, 2))
+        assert out[0, 2] and not out[0, 3]
