@@ -13,9 +13,7 @@ scale steepen.
 import numpy as np
 import pytest
 
-from repro.apps.buyatbulk import CableType, Demand, buy_at_bulk
-from repro.graph import generators as gen
-from repro.util.rng import as_rng
+from repro.api import CableType, Demand, as_rng, buy_at_bulk, generators as gen
 
 FLAT = [CableType(1.0, 1.0)]
 ECONOMIES = [CableType(1.0, 1.0), CableType(16.0, 4.0), CableType(256.0, 16.0)]

@@ -10,7 +10,6 @@ Measured: number of violating triples for the exact hub hop set (must be
 time.
 """
 
-import numpy as np
 import pytest
 
 from repro.graph import generators as gen

@@ -5,20 +5,25 @@ expected stretch ``O(log n)`` — optimal in the worst case (expanders [7]).
 
 Measured: per-family max-over-pairs expected stretch (mean over sampled
 trees), its ratio to ``log2 n``, and dominance; for both the direct
-pipeline and the full oracle pipeline.  Expected shape: ratio to
-``log2 n`` is a small constant (~1-6) on all families, slightly larger for
-the oracle pipeline (the ``(1+eps)^Λ`` distortion), never unbounded; the
-expander family shows the Ω(log n) lower bound is matched (stretch also
-≈ c·log n there).
+pipeline and the full oracle pipeline, driven through the unified
+:mod:`repro.api` facade (one hop-set/oracle build amortized across all
+sampled trees).  Expected shape: ratio to ``log2 n`` is a small constant
+(~1-6) on all families, slightly larger for the oracle pipeline (the
+``(1+eps)^Λ`` distortion), never unbounded; the expander family shows the
+Ω(log n) lower bound is matched (stretch also ≈ c·log n there).
 """
 
 import numpy as np
 import pytest
 
-from repro.frt import evaluate_stretch, sample_frt_tree, sample_frt_tree_via_oracle
-from repro.graph import generators as gen
-from repro.hopsets import hub_hopset, rounded_hopset
-from repro.oracle import HOracle
+from repro.api import (
+    EmbeddingConfig,
+    HopsetConfig,
+    Pipeline,
+    PipelineConfig,
+    evaluate_stretch,
+    generators as gen,
+)
 
 
 def _family(name, rng):
@@ -36,11 +41,12 @@ def _family(name, rng):
 @pytest.mark.parametrize("family", ["cycle", "grid", "expander", "random"])
 def test_e4_direct_stretch(benchmark, family):
     g = _family(family, 30)
+    pipe = Pipeline(g, PipelineConfig(embedding=EmbeddingConfig(method="direct")))
     shared = np.random.default_rng(31)
 
     def run():
         return evaluate_stretch(
-            g, lambda: sample_frt_tree(g, rng=shared).tree, trees=12, rng=32
+            g, lambda: pipe.sample(rng=shared).tree, trees=12, rng=32
         )
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -60,16 +66,13 @@ def test_e4_direct_stretch(benchmark, family):
 def test_e4_oracle_pipeline_stretch(benchmark, family):
     g = _family(family, 33)
     eps = 1.0 / np.log2(g.n) ** 2
-    hopset = rounded_hopset(hub_hopset(g, rng=34), g, eps)
-    oracle = HOracle(hopset, rng=35)
+    pipe = Pipeline(g, PipelineConfig(hopset=HopsetConfig(eps=eps)), rng=34)
+    pipe.oracle()  # build once, outside the measured sampling loop
     shared = np.random.default_rng(36)
 
     def run():
         return evaluate_stretch(
-            g,
-            lambda: sample_frt_tree_via_oracle(g, oracle=oracle, rng=shared).tree,
-            trees=10,
-            rng=37,
+            g, lambda: pipe.sample(rng=shared).tree, trees=10, rng=37
         )
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -79,7 +82,9 @@ def test_e4_oracle_pipeline_stretch(benchmark, family):
         max_expected_stretch=report.max_expected_stretch,
         stretch_over_log2n=report.expected_stretch_vs_log(g.n),
         dominating=report.dominating,
-        Lambda=oracle.Lambda,
+        Lambda=pipe.oracle().Lambda,
+        hopset_builds=pipe.stats["hopset_builds"],
     )
     assert report.dominating
     assert report.max_expected_stretch <= 16 * np.log2(g.n)
+    assert pipe.stats["hopset_builds"] == 1  # amortized across all trees

@@ -14,11 +14,11 @@ measured metric stretch grows at most linearly in ``2k-1``.
 import numpy as np
 import pytest
 
+from repro.api import HopsetConfig, Pipeline, PipelineConfig
 from repro.graph import generators as gen
 from repro.graph.shortest_paths import dijkstra_distances
 from repro.hopsets.verify import count_triangle_violations
 from repro.metric import (
-    approximate_metric,
     approximate_metric_spanner,
     baswana_sen_spanner,
 )
@@ -28,9 +28,10 @@ from repro.metric import (
 def test_e6_metric_quality(benchmark, n):
     g = gen.random_graph(n, 3 * n, rng=60)
     eps = 1.0 / np.log2(n)
+    pipe = Pipeline(g, PipelineConfig(hopset=HopsetConfig(eps=eps)), rng=61)
 
     def run():
-        return approximate_metric(g, eps=eps, rng=61)
+        return pipe.embed_metric()
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     D = dijkstra_distances(g)
@@ -44,6 +45,9 @@ def test_e6_metric_quality(benchmark, n):
     assert violations == 0
     assert achieved <= res.stretch_bound + 1e-9
     assert np.all(res.matrix[off] >= D[off] - 1e-9)
+    # The facade's constant-time query object reads the same matrix.
+    oracle = pipe.distance_oracle()
+    assert oracle.query(0, 1) == res.matrix[0, 1]
 
 
 @pytest.mark.parametrize("k", [2, 3, 4])

@@ -14,9 +14,13 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.apps.kmedian import kmedian, kmedian_greedy, kmedian_random
-from repro.graph import generators as gen
-from repro.graph.shortest_paths import dijkstra_distances
+from repro.api import (
+    dijkstra_distances,
+    generators as gen,
+    kmedian,
+    kmedian_greedy,
+    kmedian_random,
+)
 
 
 def brute_force(G, k):

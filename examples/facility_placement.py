@@ -12,8 +12,7 @@ Run:  python examples/facility_placement.py
 
 import numpy as np
 
-from repro.apps.kmedian import kmedian, kmedian_greedy, kmedian_random
-from repro.graph import generators
+from repro.api import generators, kmedian, kmedian_greedy, kmedian_random
 
 
 def main() -> None:

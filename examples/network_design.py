@@ -13,8 +13,15 @@ Run:  python examples/network_design.py
 
 import numpy as np
 
-from repro.apps.buyatbulk import CableType, Demand, buy_at_bulk
-from repro.graph import generators
+from repro.api import (
+    CableType,
+    Demand,
+    EmbeddingConfig,
+    Pipeline,
+    PipelineConfig,
+    buy_at_bulk,
+    generators,
+)
 
 CATALOG = [
     CableType(capacity=1.0, cost=1.0),    # copper
@@ -35,19 +42,24 @@ def main() -> None:
     print(f"topology: n={n} m={g.m};  {len(demands)} demands, {total:.0f} units total")
     print(f"cable catalog: {[(c.capacity, c.cost) for c in CATALOG]}")
 
+    # Sample 5 independent FRT embeddings through the pipeline facade (the
+    # intro's repeat-and-take-best pattern, batched in one call), then price
+    # each one.
+    pipe = Pipeline(g, PipelineConfig(embedding=EmbeddingConfig(method="direct")))
+    batch = pipe.sample_ensemble(k=5, seed=13)
     best = None
     print(f"\n{'sample':>7} {'tree cost':>10} {'graph cost':>11} {'baseline':>9} {'LB':>8}")
-    for seed in range(5):
-        res = buy_at_bulk(g, demands, CATALOG, rng=seed)
+    for i, emb in enumerate(batch):
+        res = buy_at_bulk(g, demands, CATALOG, embedding=emb)
         print(
-            f"{seed:>7} {res.tree_cost:>10.1f} {res.graph_cost:>11.1f} "
+            f"{i:>7} {res.tree_cost:>10.1f} {res.graph_cost:>11.1f} "
             f"{res.baseline_cost:>9.1f} {res.lower_bound:>8.1f}"
         )
         if best is None or res.graph_cost < best.graph_cost:
             best = res
     assert best is not None
     print(
-        f"\nbest of 5 embeddings: cost {best.graph_cost:.1f}  "
+        f"\nbest of {batch.size} embeddings: cost {best.graph_cost:.1f}  "
         f"({best.ratio_vs_lower_bound:.2f}x the fractional lower bound, "
         f"{best.ratio_vs_baseline:.2f}x shortest-path routing)"
     )

@@ -1,57 +1,82 @@
 #!/usr/bin/env python
-"""Quickstart: sample a metric tree embedding and check its guarantees.
+"""Quickstart: the unified pipeline facade (`repro.api`).
 
 Builds a weighted graph with a large shortest-path diameter (a cycle — the
-worst case for plain Moore-Bellman-Ford), samples FRT trees with the two
-pipelines, and verifies the embedding contract of Definition 7.1:
+worst case for plain Moore-Bellman-Ford), then drives the paper's pipeline
+through one `Pipeline` object:
 
-- domination: dist_T(u, v) >= dist_G(u, v) for every pair,
-- expected stretch O(log n): max over pairs of the mean tree/graph ratio.
+- `sample()` / `sample_ensemble(k)` — FRT trees; the hop set and oracle are
+  built once and amortized across the whole batch;
+- `distance_oracle()` — constant-time `(1+o(1))`-approximate distance
+  queries (Theorem 6.1) from the same cached artifacts;
+- the embedding contract of Definition 7.1 (domination, expected stretch
+  O(log n)) verified over the batch.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.frt import evaluate_stretch, sample_frt_tree, sample_frt_tree_via_oracle
-from repro.graph import generators
-from repro.graph.shortest_paths import shortest_path_diameter
-from repro.hopsets import hub_hopset, rounded_hopset
-from repro.oracle import HOracle
+from repro.api import (
+    EmbeddingConfig,
+    HopsetConfig,
+    Pipeline,
+    PipelineConfig,
+    available_backends,
+    evaluate_stretch,
+    generators,
+    shortest_path_diameter,
+)
 
 
 def main() -> None:
     n = 64
     g = generators.cycle(n, wmin=1.0, wmax=3.0, rng=7)
-    print(f"graph: cycle  n={g.n}  m={g.m}  SPD={shortest_path_diameter(g)}")
+    spd = shortest_path_diameter(g)
+    print(f"graph: cycle  n={g.n}  m={g.m}  SPD={spd}")
+    print(f"registered MBF backends: {available_backends()}")
 
-    # -- one tree, direct pipeline ------------------------------------------
-    res = sample_frt_tree(g, rng=1)
-    t = res.tree
-    print(
-        f"\ndirect pipeline:  tree with {t.num_nodes} nodes, depth {t.k}, "
-        f"beta={res.beta:.3f}, LE-list iterations={res.iterations}"
-    )
-    print(f"  dist_G(0, {n // 2}) = {g.weights[:n // 2].sum():.2f} (via ring)")
-    print(f"  dist_T(0, {n // 2}) = {t.distance(0, n // 2):.2f}")
-
-    # -- one tree, the paper's oracle pipeline --------------------------------
+    # -- the paper's oracle pipeline, one facade object -----------------------
     eps = 1.0 / np.log2(n) ** 2
-    hopset = rounded_hopset(hub_hopset(g, rng=2), g, eps)
-    oracle = HOracle(hopset, rng=3)
-    res_o = sample_frt_tree_via_oracle(g, oracle=oracle, rng=4)
+    pipe = Pipeline(g, PipelineConfig(hopset=HopsetConfig(eps=eps), seed=3))
+    res = pipe.sample()
+    oracle = pipe.oracle()
     print(
         f"\noracle pipeline:  hop bound d={oracle.d}, levels Λ={oracle.Lambda}, "
-        f"H-iterations={res_o.iterations} (vs SPD={shortest_path_diameter(g)})"
+        f"H-iterations={res.iterations} (vs SPD={spd})"
+    )
+    t = res.tree
+    print(
+        f"  one tree: {t.num_nodes} nodes, depth {t.k}, beta={res.beta:.3f}"
     )
 
-    # -- stretch over repeated samples ---------------------------------------
+    # -- batch ensemble sampling: one build, k trees ---------------------------
+    result = pipe.sample_ensemble(k=8, seed=0)
+    print(
+        f"\nensemble of {result.size} trees:  hopset builds="
+        f"{result.meta['stats']['hopset_builds']}, oracle builds="
+        f"{result.meta['stats']['oracle_builds']} (amortized), "
+        f"ledger work={result.ledger.work}, depth={result.ledger.depth}"
+    )
+    d_min = result.ensemble().distance_upper_bounds([0], [n // 2])[0]
+    print(f"  min over trees of dist_T(0, {n // 2}) = {d_min:.2f}")
+    print(f"  dist_G(0, {n // 2}) = {g.weights[:n // 2].sum():.2f} (via ring)")
+
+    # -- constant-time approximate distance queries ----------------------------
+    dq = pipe.distance_oracle()
+    print(
+        f"\ndistance oracle:  dist_H(0, {n // 2}) = {dq.query(0, n // 2):.2f} "
+        f"(stretch bound {dq.stretch_bound:.3f}, same cached hop set/oracle)"
+    )
+
+    # -- stretch over repeated samples, direct pipeline -------------------------
+    direct = Pipeline(g, PipelineConfig(embedding=EmbeddingConfig(method="direct")))
     shared = np.random.default_rng(5)
     report = evaluate_stretch(
-        g, lambda: sample_frt_tree(g, rng=shared).tree, trees=16, rng=6
+        g, lambda: direct.sample(rng=shared).tree, trees=16, rng=6
     )
     print(
-        f"\nstretch over {report.trees} trees, {report.pairs} pairs:\n"
+        f"\nstretch over {report.trees} direct-pipeline trees, {report.pairs} pairs:\n"
         f"  dominating          : {report.dominating}\n"
         f"  max expected stretch: {report.max_expected_stretch:.2f}"
         f"  (= {report.expected_stretch_vs_log(n):.2f} x log2 n)\n"

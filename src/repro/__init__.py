@@ -1,9 +1,19 @@
 """repro — reproduction of Friedrichs & Lenzen, "Parallel Metric Tree
 Embedding based on an Algebraic View on Moore-Bellman-Ford" (SPAA 2016).
 
+The recommended entry point is the unified pipeline facade in
+:mod:`repro.api`: build a :class:`~repro.api.pipeline.Pipeline` from a graph
+and a :class:`~repro.api.configs.PipelineConfig`, then call ``sample()``,
+``sample_ensemble(k)``, ``distance_oracle()`` or ``embed_metric()`` — stage
+artifacts (hop set, oracle) are built lazily, cached, and amortized across
+samples.  MBF engines are selected by name through the backend registry
+(:func:`~repro.api.registry.get_backend`); see ``API.md`` for the guide and
+the legacy-call migration table.
+
 Top-level re-exports cover the most common entry points; see the
 subpackages for the full API:
 
+- :mod:`repro.api` — the pipeline facade, stage configs, backend registry,
 - :mod:`repro.algebra` — semirings and semimodules (Sections 2-3, App. A),
 - :mod:`repro.mbf` — the MBF-like algorithm framework and the algorithm zoo,
 - :mod:`repro.graph` — graphs, generators, distances, SPD,
@@ -17,9 +27,38 @@ subpackages for the full API:
 - :mod:`repro.pram` — the work/depth cost model.
 """
 
+from repro.api.configs import (
+    EmbeddingConfig,
+    HopsetConfig,
+    OracleConfig,
+    PipelineConfig,
+)
+from repro.api.pipeline import Pipeline
+from repro.api.registry import (
+    MBFBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.api.result import DistanceOracle, PipelineResult
 from repro.graph.core import Graph
 from repro.pram.cost import CostLedger
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Graph", "CostLedger", "__version__"]
+__all__ = [
+    "Graph",
+    "CostLedger",
+    "Pipeline",
+    "PipelineConfig",
+    "HopsetConfig",
+    "OracleConfig",
+    "EmbeddingConfig",
+    "PipelineResult",
+    "DistanceOracle",
+    "MBFBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "__version__",
+]

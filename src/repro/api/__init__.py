@@ -1,0 +1,144 @@
+"""repro.api — the unified pipeline facade.
+
+The paper's central contribution is a *pipeline*: hop set → simulated graph
+``H`` → MBF-like oracle → LE lists → FRT tree → applications.  This package
+is the canonical way to drive it:
+
+- :class:`~repro.api.pipeline.Pipeline` — lazily builds and caches the
+  expensive stage artifacts (hop set, oracle) and exposes ``sample()``,
+  ``sample_ensemble(k)`` (amortized batch sampling with per-sample child
+  RNGs and optional process-pool parallelism), ``distance_oracle()`` and
+  ``embed_metric()``;
+- :mod:`~repro.api.configs` — frozen, validated stage configs
+  (:class:`HopsetConfig`, :class:`OracleConfig`, :class:`EmbeddingConfig`,
+  :class:`PipelineConfig`) with ``to_dict``/``from_dict`` round-tripping;
+- :mod:`~repro.api.registry` — the string-keyed MBF engine registry
+  (``"dense"``, ``"reference"``, plus third-party registrations);
+- :mod:`~repro.api.result` — :class:`PipelineResult` (trees + cost ledgers
+  + stage timings + provenance) and :class:`DistanceOracle`.
+
+Convenience re-exports make the facade self-sufficient for scripts and
+benchmarks: graph construction/generators, ground-truth distances, stretch
+evaluation, the cost ledger, and (lazily, to avoid import cycles) the
+Section 9-10 applications.
+
+Quickstart::
+
+    from repro.api import Pipeline, PipelineConfig, generators
+
+    g = generators.cycle(64, rng=7)
+    pipe = Pipeline(g, PipelineConfig(seed=0))
+    result = pipe.sample_ensemble(k=8)       # one hopset/oracle build
+    best, cost = result.ensemble().best_tree_for(my_objective)
+    dist = pipe.distance_oracle().query(0, 32)
+
+See ``API.md`` at the repository root for the full guide and the
+old-call → new-call migration table.
+"""
+
+from importlib import import_module
+
+from repro.api.configs import (
+    EMBEDDING_METHODS,
+    HOPSET_KINDS,
+    EmbeddingConfig,
+    HopsetConfig,
+    OracleConfig,
+    PipelineConfig,
+)
+from repro.api.pipeline import Pipeline
+from repro.api.registry import (
+    MBFBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.api.result import DistanceOracle, PipelineResult
+
+# Convenience re-exports: enough surface that examples and benchmarks can
+# drive the whole pipeline importing only from repro.api.
+from repro.frt.embedding import EmbeddingResult
+from repro.frt.ensemble import FRTEnsemble
+from repro.frt.lelists import max_list_length
+from repro.frt.stretch import StretchReport, evaluate_stretch
+from repro.graph import generators
+from repro.graph.core import Graph
+from repro.graph.shortest_paths import dijkstra_distances, shortest_path_diameter
+from repro.hopsets.base import HopSetResult
+from repro.metric.approx_metric import MetricResult
+from repro.oracle.oracle import HOracle
+from repro.pram.cost import CostLedger
+from repro.util.rng import as_rng, spawn_rngs
+
+__all__ = [
+    # facade
+    "Pipeline",
+    "PipelineConfig",
+    "HopsetConfig",
+    "OracleConfig",
+    "EmbeddingConfig",
+    "HOPSET_KINDS",
+    "EMBEDDING_METHODS",
+    "PipelineResult",
+    "DistanceOracle",
+    # backend registry
+    "MBFBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+    # re-exported building blocks
+    "Graph",
+    "generators",
+    "dijkstra_distances",
+    "shortest_path_diameter",
+    "CostLedger",
+    "as_rng",
+    "spawn_rngs",
+    "EmbeddingResult",
+    "FRTEnsemble",
+    "StretchReport",
+    "evaluate_stretch",
+    "max_list_length",
+    "HopSetResult",
+    "MetricResult",
+    "HOracle",
+    # lazy application re-exports (resolved on first access)
+    "kmedian",
+    "kmedian_cost",
+    "kmedian_greedy",
+    "kmedian_random",
+    "KMedianResult",
+    "buy_at_bulk",
+    "CableType",
+    "Demand",
+    "BuyAtBulkResult",
+]
+
+# The applications import Pipeline themselves, so eager imports here would
+# cycle; PEP 562 lazy attributes break the loop while keeping
+# ``from repro.api import kmedian`` working.
+_LAZY_EXPORTS = {
+    "kmedian": "repro.apps.kmedian",
+    "kmedian_cost": "repro.apps.kmedian",
+    "kmedian_greedy": "repro.apps.kmedian",
+    "kmedian_random": "repro.apps.kmedian",
+    "KMedianResult": "repro.apps.kmedian",
+    "buy_at_bulk": "repro.apps.buyatbulk",
+    "CableType": "repro.apps.buyatbulk",
+    "Demand": "repro.apps.buyatbulk",
+    "BuyAtBulkResult": "repro.apps.buyatbulk",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        value = getattr(import_module(_LAZY_EXPORTS[name]), name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,400 @@
+"""The :class:`Pipeline` facade: hop set → ``H``/oracle → LE lists → trees.
+
+This is the canonical entry point to the paper's pipeline.  A ``Pipeline``
+binds one graph to one :class:`~repro.api.configs.PipelineConfig`, builds
+the expensive stage artifacts (hop set, oracle) lazily, caches them, and
+amortizes them across samples:
+
+>>> from repro.api import Pipeline, PipelineConfig
+>>> pipe = Pipeline(G, PipelineConfig(seed=0))
+>>> result = pipe.sample_ensemble(k=8)          # one hopset+oracle build
+>>> tree = pipe.sample().tree                   # still the same artifacts
+>>> dist = pipe.distance_oracle().query(0, 5)   # ditto
+
+Randomness: the pipeline threads a single :class:`numpy.random.Generator`
+(from ``rng`` or ``config.seed``) through construction and sampling in the
+same order as the legacy free functions, so ``Pipeline(G, cfg, rng=s).sample()``
+is bit-identical to ``sample_frt_tree_via_oracle(G, ..., rng=s)``.  Batch
+sampling spawns one child generator per sample, so results do not depend on
+scheduling (serial vs process pool).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.api.configs import PipelineConfig
+from repro.api.registry import get_backend
+from repro.api.result import DistanceOracle, PipelineResult
+from repro.frt.embedding import EmbeddingResult, _draw_randomness
+from repro.frt.lelists import compute_le_lists_via_oracle
+from repro.frt.tree import build_frt_tree
+from repro.graph.core import Graph
+from repro.hopsets.base import HopSetResult
+from repro.hopsets.exact_closure import exact_closure_hopset
+from repro.hopsets.identity import identity_hopset
+from repro.hopsets.rounded import rounded_hopset
+from repro.hopsets.skeleton import hub_hopset
+from repro.metric.approx_metric import MetricResult, metric_from_oracle
+from repro.oracle.oracle import HOracle
+from repro.pram.cost import NULL_LEDGER, CostLedger
+from repro.util.rng import as_rng
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline:
+    """Composable, artifact-caching front end to the full pipeline.
+
+    Parameters
+    ----------
+    G:
+        The connected input graph.
+    config:
+        Stage configuration; defaults to the paper's main pipeline
+        (hub hop set, rounded to ``eps=0.25``, oracle-based sampling).
+    rng:
+        Seed / generator for *all* pipeline randomness; overrides
+        ``config.seed``.  One generator is threaded through construction
+        and sampling, matching the legacy free-function conventions.
+    hopset, oracle:
+        Pre-built artifacts to inject (amortizing across pipelines or
+        reusing externally constructed stages); injected artifacts do not
+        count towards the build counters in :attr:`stats`.
+
+    Attributes
+    ----------
+    stats:
+        Build/sample counters (``hopset_builds``, ``oracle_builds``,
+        ``metric_builds``, ``samples``) — the ledger-style evidence that
+        batch sampling reuses one artifact set.
+    timings:
+        Cumulative wall-clock seconds per stage.
+    """
+
+    def __init__(
+        self,
+        G: Graph,
+        config: PipelineConfig | None = None,
+        *,
+        rng=None,
+        hopset: HopSetResult | None = None,
+        oracle: HOracle | None = None,
+    ):
+        if not isinstance(G, Graph):
+            raise TypeError(f"expected a repro Graph, got {type(G)!r}")
+        if not G.is_connected():
+            raise ValueError("FRT embeddings require a connected graph")
+        if config is None:
+            config = PipelineConfig()
+        elif not isinstance(config, PipelineConfig):
+            raise TypeError(f"expected a PipelineConfig, got {type(config)!r}")
+        self.G = G
+        self.config = config
+        self._rng = as_rng(rng if rng is not None else config.seed)
+        self._hopset = hopset
+        self._oracle = oracle
+        self._metric: MetricResult | None = None
+        self.stats = {
+            "hopset_builds": 0,
+            "oracle_builds": 0,
+            "metric_builds": 0,
+            "samples": 0,
+        }
+        self.timings: dict[str, float] = {}
+
+    # -- stage artifacts ------------------------------------------------------
+
+    def hopset(self) -> HopSetResult:
+        """The (cached) hop-set result; built on first use."""
+        if self._hopset is None:
+            cfg = self.config.hopset
+            t0 = time.perf_counter()
+            if cfg.kind == "hub":
+                base = hub_hopset(self.G, cfg.d0, c=cfg.c, rng=self._rng)
+            elif cfg.kind == "identity":
+                base = identity_hopset(self.G)
+            else:  # exact-closure
+                base = exact_closure_hopset(self.G)
+            if cfg.eps > 0 and cfg.kind != "identity":
+                base = rounded_hopset(base, self.G, cfg.eps)
+            self._hopset = base
+            self.stats["hopset_builds"] += 1
+            self.timings["hopset"] = self.timings.get("hopset", 0.0) + (
+                time.perf_counter() - t0
+            )
+        return self._hopset
+
+    def oracle(self) -> HOracle:
+        """The (cached) Section-5 oracle on ``H``; built on first use."""
+        if self._oracle is None:
+            cfg = self.config.oracle
+            hopset = self.hopset()
+            if (
+                cfg.penalty_base is not None
+                and cfg.penalty_base < 1.0 + hopset.eps
+            ):
+                raise ValueError(
+                    f"penalty_base={cfg.penalty_base} violates the Theorem 4.5 "
+                    f"requirement >= 1 + eps = {1.0 + hopset.eps} for this hop "
+                    "set; use repro.simulated.SimulatedGraph directly for "
+                    "ablations below that bound"
+                )
+            t0 = time.perf_counter()
+            self._oracle = HOracle(
+                hopset,
+                penalty_base=cfg.penalty_base,
+                inner_early_exit=cfg.inner_early_exit,
+                rng=self._rng,
+            )
+            self.stats["oracle_builds"] += 1
+            self.timings["oracle"] = self.timings.get("oracle", 0.0) + (
+                time.perf_counter() - t0
+            )
+        return self._oracle
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample(
+        self,
+        *,
+        rng=None,
+        rank: np.ndarray | None = None,
+        beta: float | None = None,
+        ledger: CostLedger = NULL_LEDGER,
+    ) -> EmbeddingResult:
+        """Sample one FRT tree with the configured method.
+
+        ``rng`` defaults to the pipeline's own generator; explicit ``rank``
+        / ``beta`` values are used verbatim and do *not* consume random
+        state.  The first ``"oracle"``-method call builds (and caches) the
+        hop set and oracle.
+        """
+        g = self._rng if rng is None else as_rng(rng)
+        t0 = time.perf_counter()
+        method = self.config.embedding.method
+        if method == "oracle":
+            oracle = self.oracle()
+            t0 = time.perf_counter()  # exclude any first-call artifact build
+            r, b = _draw_randomness(self.G.n, g, rank=rank, beta=beta)
+            lists, iters = compute_le_lists_via_oracle(oracle, r, ledger=ledger)
+            extra_meta = {
+                "hop_d": oracle.d,
+                "Lambda": oracle.Lambda,
+                "penalty_base": oracle.penalty_base,
+                "eps": self.config.hopset.eps,
+            }
+        else:
+            backend = get_backend(self.config.embedding.backend)
+            r, b = _draw_randomness(self.G.n, g, rank=rank, beta=beta)
+            lists, iters = backend.le_lists(self.G, r, ledger=ledger)
+            extra_meta = {"backend": backend.name}
+        wmin, _ = self.G.weight_bounds()
+        tree = build_frt_tree(lists, r, b, wmin)
+        self.stats["samples"] += 1
+        self.timings["samples"] = self.timings.get("samples", 0.0) + (
+            time.perf_counter() - t0
+        )
+        return EmbeddingResult(
+            tree=tree,
+            rank=r,
+            beta=b,
+            le_lists=lists,
+            iterations=iters,
+            meta={"pipeline": method, **extra_meta},
+        )
+
+    def sample_ensemble(
+        self,
+        k: int,
+        *,
+        seed: int | None = None,
+        workers: int | None = None,
+    ) -> PipelineResult:
+        """Sample ``k`` independent trees, amortizing one artifact build.
+
+        The hop set / oracle are built (at most) once and shared by all
+        ``k`` samples; each sample draws from its own spawned child
+        generator, so the batch is bit-reproducible under a fixed ``seed``
+        regardless of ``workers``.
+
+        Parameters
+        ----------
+        seed:
+            Batch seed.  When given, it determines construction randomness
+            too (if the artifacts are not yet built), so a fresh
+            ``Pipeline(G, cfg).sample_ensemble(k, seed=s)`` is fully
+            deterministic.  ``None`` continues the pipeline's own stream.
+        workers:
+            ``None``/``0``/``1`` = serial.  ``> 1`` fans samples out to a
+            process pool (per-sample ledgers are returned by the workers,
+            but mutations of shared artifacts — e.g. oracle
+            inner-iteration stats — stay in the children).  Third-party
+            backends are shipped to the workers by value, so their
+            ``le_lists`` driver must be picklable (a module-level
+            function, not a lambda) under spawn/forkserver start methods.
+        """
+        if k < 1:
+            raise ValueError("ensemble size k must be >= 1")
+        t_total = time.perf_counter()
+        timings_before = dict(self.timings)
+        if seed is not None:
+            ss = np.random.SeedSequence(seed)
+            build_ss, sample_ss = ss.spawn(2)
+            if self._needs_build():
+                # Build from a seed-derived stream so a fresh pipeline is
+                # fully deterministic — but restore the pipeline's own
+                # stream afterwards: the batch seed must not shift the
+                # randomness of later sample()/hopset() calls.
+                own_rng = self._rng
+                self._rng = np.random.default_rng(build_ss)
+                try:
+                    self.oracle()
+                finally:
+                    self._rng = own_rng
+            children = [np.random.default_rng(s) for s in sample_ss.spawn(k)]
+        else:
+            seeds = self._rng.integers(0, 2**63 - 1, size=k, dtype=np.int64)
+            children = [np.random.default_rng(int(s)) for s in seeds]
+        # Build shared artifacts up front so every sample (and worker) reuses
+        # the same hop set / oracle instead of racing to build its own.
+        if self.config.embedding.method == "oracle":
+            self.oracle()
+        pairs: list[tuple[EmbeddingResult, CostLedger]] = []
+        if workers is None or workers <= 1:
+            for child in children:
+                ledger = CostLedger()
+                emb = self.sample(rng=child, ledger=ledger)
+                pairs.append((emb, ledger))
+        else:
+            # Ship the configured backend by value: under spawn/forkserver
+            # start methods the workers re-import the registry fresh, which
+            # only holds the built-ins.
+            backend = (
+                get_backend(self.config.embedding.backend)
+                if self.config.embedding.method == "direct"
+                else None
+            )
+            t0 = time.perf_counter()
+            # Shared artifacts travel once per worker via the initializer;
+            # per-task payloads carry only the child generator.
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_ensemble_worker,
+                initargs=(self.G, self.config, self._hopset, self._oracle, backend),
+            ) as pool:
+                pairs = list(pool.map(_ensemble_worker, children))
+            self.stats["samples"] += k
+            self.timings["samples"] = self.timings.get("samples", 0.0) + (
+                time.perf_counter() - t0
+            )
+        embeddings = [emb for emb, _ in pairs]
+        ledgers = [led for _, led in pairs]
+        merged = CostLedger()
+        merged.join(*ledgers, label="ensemble")
+        # Per-batch stage timings: the delta over this call, not the
+        # pipeline's lifetime accumulation.
+        timings = {
+            stage: spent - timings_before.get(stage, 0.0)
+            for stage, spent in self.timings.items()
+            if spent - timings_before.get(stage, 0.0) > 0.0
+        }
+        timings["total"] = time.perf_counter() - t_total
+        return PipelineResult(
+            embeddings=embeddings,
+            ledger=merged,
+            ledgers=ledgers,
+            timings=timings,
+            meta=self._provenance(k=k, seed=seed, workers=workers),
+        )
+
+    # -- distance queries -----------------------------------------------------
+
+    def embed_metric(self, *, ledger: CostLedger = NULL_LEDGER) -> MetricResult:
+        """Theorem 6.1 through the cached oracle: an approximate *metric*.
+
+        Reuses the pipeline's hop set / oracle (one build serves trees and
+        metric queries alike); the result is cached.  Passing an explicit
+        ``ledger`` always runs (and charges) the computation — a cached
+        matrix must not silently report zero cost.
+        """
+        if self._metric is None or ledger is not NULL_LEDGER:
+            oracle = self.oracle()
+            t0 = time.perf_counter()
+            self._metric = metric_from_oracle(
+                oracle, eps=self.config.hopset.eps, ledger=ledger
+            )
+            self.stats["metric_builds"] += 1
+            self.timings["metric"] = self.timings.get("metric", 0.0) + (
+                time.perf_counter() - t0
+            )
+        return self._metric
+
+    def distance_oracle(self) -> DistanceOracle:
+        """Constant-time approximate distance queries on this graph."""
+        return DistanceOracle(self.embed_metric())
+
+    # -- introspection --------------------------------------------------------
+
+    def _needs_build(self) -> bool:
+        if self.config.embedding.method != "oracle":
+            return False
+        return self._oracle is None
+
+    def _provenance(self, **extra) -> dict:
+        meta: dict = {
+            "config": self.config.to_dict(),
+            "n": self.G.n,
+            "m": self.G.m,
+            "method": self.config.embedding.method,
+            "backend": self.config.embedding.backend,
+            "stats": dict(self.stats),
+            **extra,
+        }
+        if self._hopset is not None:
+            meta["hopset"] = {
+                "d": self._hopset.d,
+                "eps": self._hopset.eps,
+                "extra_edges": self._hopset.extra_edges,
+            }
+        if self._oracle is not None:
+            meta["oracle"] = {
+                "Lambda": self._oracle.Lambda,
+                "penalty_base": self._oracle.penalty_base,
+                "d": self._oracle.d,
+            }
+        return meta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        built = [k for k, v in (("hopset", self._hopset), ("oracle", self._oracle)) if v]
+        return (
+            f"Pipeline(n={self.G.n}, m={self.G.m}, "
+            f"method={self.config.embedding.method!r}, built={built})"
+        )
+
+
+_WORKER_PIPELINE: Pipeline | None = None
+
+
+def _init_ensemble_worker(graph, config, hopset, oracle, backend) -> None:
+    """Pool initializer: rebuild the shared pipeline once per worker."""
+    from repro.api.registry import register_backend
+
+    global _WORKER_PIPELINE
+    if backend is not None:
+        # The worker's registry may hold only the built-ins (spawn /
+        # forkserver) or a stale entry under the same name — the shipped
+        # backend is authoritative.
+        register_backend(backend, overwrite=True)
+    _WORKER_PIPELINE = Pipeline(graph, config, hopset=hopset, oracle=oracle)
+
+
+def _ensemble_worker(child_rng) -> tuple[EmbeddingResult, CostLedger]:
+    """Process-pool body: sample one tree from the per-worker pipeline."""
+    assert _WORKER_PIPELINE is not None, "pool initializer did not run"
+    ledger = CostLedger()
+    emb = _WORKER_PIPELINE.sample(rng=child_rng, ledger=ledger)
+    return emb, ledger

@@ -1,0 +1,191 @@
+"""String-keyed registry of MBF engines ("backends").
+
+The repo ships two engines for MBF-like algorithms (Definition 2.11): the
+object-based *reference* engine (:mod:`repro.mbf.engine`, any semiring /
+semimodule, clarity over speed) and the vectorized *dense* engine
+(:mod:`repro.mbf.dense`, flat-array distance-map states, the production
+path).  The registry lets callers — the :class:`~repro.api.pipeline.Pipeline`
+facade, benchmarks, third-party code — select an engine by name and plug in
+their own:
+
+>>> from repro.api import MBFBackend, register_backend, get_backend
+>>> get_backend("dense").name
+'dense'
+>>> register_backend(MBFBackend(name="mine", le_lists=my_le_lists))
+
+A backend is described by its LE-list driver (the pipeline's workhorse
+query, Definition 7.3); the underlying module stays reachable through
+:attr:`MBFBackend.module` for engine-specific entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.core import Graph
+from repro.mbf.dense import FlatStates
+from repro.pram.cost import NULL_LEDGER, CostLedger
+
+__all__ = [
+    "MBFBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+@dataclass(frozen=True)
+class MBFBackend:
+    """A named MBF engine.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``"dense"``, ``"reference"``, ...).
+    le_lists:
+        Driver computing LE lists on a graph:
+        ``le_lists(G, rank, h=None, ledger=...) -> (FlatStates, iterations)``
+        with ``h=None`` meaning "iterate to the fixpoint".
+    description:
+        One-line human-readable summary (shown by CLI/benchmark reports).
+    module:
+        Dotted path of the implementing module, for discoverability.
+    """
+
+    name: str
+    le_lists: Callable[..., tuple[FlatStates, int]]
+    description: str = ""
+    module: str = ""
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("backend name must be a non-empty string")
+        if not callable(self.le_lists):
+            raise TypeError("backend le_lists must be callable")
+
+
+_REGISTRY: dict[str, MBFBackend] = {}
+
+
+def register_backend(backend: MBFBackend, *, overwrite: bool = False) -> MBFBackend:
+    """Register ``backend`` under its name; returns it for chaining.
+
+    Registering an existing name raises unless ``overwrite=True`` — silent
+    replacement of the built-ins would make benchmark provenance lie.
+    """
+    if not isinstance(backend, MBFBackend):
+        raise TypeError(f"expected an MBFBackend, got {type(backend)!r}")
+    if backend.name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {backend.name!r} is already registered; pass overwrite=True to replace"
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (mainly for tests and plugin teardown)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown MBF backend {name!r}; available: {available_backends()}")
+    del _REGISTRY[name]
+
+
+def get_backend(name: str) -> MBFBackend:
+    """Look up a backend by name; unknown keys raise with the known set."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown MBF backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+# -- built-in backends --------------------------------------------------------
+
+
+def _dense_le_lists(
+    G: Graph,
+    rank: np.ndarray,
+    *,
+    h: int | None = None,
+    ledger: CostLedger = NULL_LEDGER,
+) -> tuple[FlatStates, int]:
+    from repro.frt.lelists import compute_le_lists
+
+    return compute_le_lists(G, rank, h=h, ledger=ledger)
+
+
+def _reference_le_lists(
+    G: Graph,
+    rank: np.ndarray,
+    *,
+    h: int | None = None,
+    ledger: CostLedger = NULL_LEDGER,
+) -> tuple[FlatStates, int]:
+    """LE lists through the reference engine (dict states, uninstrumented).
+
+    The reference engine predates the cost ledger; ``ledger`` is accepted
+    for interface uniformity but no costs are charged.
+    """
+    from repro.algebra import DistanceMapModule
+    from repro.frt.lelists import _check_rank
+    from repro.mbf import filters
+    from repro.mbf.algorithm import MBFAlgorithm
+    from repro.mbf.engine import run, run_to_fixpoint
+
+    rank = _check_rank(G.n, rank)
+    algo = MBFAlgorithm(
+        DistanceMapModule(G.n), filter=filters.le_list(rank), name="le-lists"
+    )
+    x0: list = [{v: 0.0} for v in range(G.n)]
+    if h is not None:
+        states = run(G, algo, x0, h)
+        iters = h
+    else:
+        states, iters = run_to_fixpoint(G, algo, x0)
+    # Emit the canonical LE order (ascending distance, as the dense engine
+    # does) — downstream consumers (FRT tree construction) rely on it;
+    # ``from_dicts`` would instead sort entries by vertex id.
+    counts = np.zeros(G.n, dtype=np.int64)
+    ids_parts: list[int] = []
+    dist_parts: list[float] = []
+    for v, d in enumerate(states):
+        items = sorted(d.items(), key=lambda kv: (kv[1], rank[kv[0]]))
+        counts[v] = len(items)
+        ids_parts.extend(k for k, _ in items)
+        dist_parts.extend(val for _, val in items)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    flat = FlatStates(
+        G.n,
+        offsets,
+        np.array(ids_parts, dtype=np.int64),
+        np.array(dist_parts, dtype=np.float64),
+    )
+    return flat, iters
+
+
+register_backend(
+    MBFBackend(
+        name="dense",
+        le_lists=_dense_le_lists,
+        description="vectorized flat-array engine (production path)",
+        module="repro.mbf.dense",
+    )
+)
+register_backend(
+    MBFBackend(
+        name="reference",
+        le_lists=_reference_le_lists,
+        description="object-based reference engine (any semiring/semimodule)",
+        module="repro.mbf.engine",
+    )
+)

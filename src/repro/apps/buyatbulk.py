@@ -28,7 +28,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.frt.embedding import EmbeddingResult, sample_frt_tree
+from repro.api.configs import EmbeddingConfig, PipelineConfig
+from repro.api.pipeline import Pipeline
+from repro.frt.embedding import EmbeddingResult
 from repro.frt.paths import PathOracle, tree_edge_to_graph_path
 from repro.frt.tree import FRTTree
 from repro.graph.core import Graph
@@ -162,7 +164,10 @@ def buy_at_bulk(
         if not (0 <= dm.source < G.n and 0 <= dm.target < G.n):
             raise ValueError("demand endpoint out of range")
     g = as_rng(rng)
-    emb = embedding if embedding is not None else sample_frt_tree(G, rng=g)
+    if embedding is None:
+        pipe = Pipeline(G, PipelineConfig(embedding=EmbeddingConfig(method="direct")))
+        embedding = pipe.sample(rng=g)
+    emb = embedding
     tree = emb.tree
 
     # -- tree routing and per-edge purchase --------------------------------

@@ -12,8 +12,8 @@ Pipeline, following Blelloch et al. [10] adapted to graph inputs:
    query each, cf. DESIGN.md §2).
 2. **Embed the candidate submetric** into an FRT tree.  The submetric is a
    complete graph of SPD 1 (the paper's own observation in Section 1.1),
-   so a single LE-iteration pipeline — :func:`repro.frt.sample_frt_tree`
-   on the candidate clique — samples the tree.
+   so a single LE-iteration pipeline — a direct-method
+   :class:`repro.api.Pipeline` on the candidate clique — samples the tree.
 3. **Exact tree DP.**  On an FRT tree (an HST) the k-median objective
    collapses: client ``c`` pays ``2·Σ_{j<ℓ} w_j`` where ``ℓ`` is the lowest
    ancestor level whose subtree holds an open facility, so
@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.frt.embedding import sample_frt_tree
+from repro.api.configs import EmbeddingConfig, PipelineConfig
+from repro.api.pipeline import Pipeline
 from repro.frt.tree import FRTTree
 from repro.graph.core import Graph
 from repro.graph.shortest_paths import dijkstra_distances
@@ -293,9 +294,14 @@ def kmedian(
     clique = Graph(
         Q.size, np.stack([iu, ju], axis=1), sub[iu, ju], validate=False
     )
+    # The candidate submetric has SPD 1, so the direct pipeline samples each
+    # tree in a single LE iteration; one Pipeline serves all repetitions.
+    pipe = Pipeline(
+        clique, PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+    )
     best: tuple[float, np.ndarray] | None = None
     for _ in range(max(1, trees)):
-        emb = sample_frt_tree(clique, rng=g)
+        emb = pipe.sample(rng=g)
         _, fac_local = hst_kmedian_dp(emb.tree, weights, k)
         facilities = Q[fac_local]
         cost = kmedian_cost(G, facilities)

@@ -10,6 +10,11 @@ Two samplers share the randomness conventions of Section 7.1 (uniform
   iterations; FRT distribution w.r.t. ``dist(·,·,H)``, which
   ``(1+eps)^{O(log n)}``-approximates ``dist(·,·,G)`` (Theorem 4.5), so the
   expected stretch w.r.t. ``G`` remains ``O(log n)``.
+
+Both are thin wrappers over the canonical implementation in
+:class:`repro.api.Pipeline` (same randomness conventions, bit-identical
+output); prefer the pipeline facade for new code — it caches and amortizes
+the hop-set/oracle construction and supports batch ensemble sampling.
 """
 
 from __future__ import annotations
@@ -18,12 +23,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.frt.lelists import compute_le_lists, compute_le_lists_via_oracle
-from repro.frt.tree import FRTTree, build_frt_tree
+from repro.frt.tree import FRTTree
 from repro.graph.core import Graph
 from repro.hopsets.base import HopSetResult
-from repro.hopsets.rounded import rounded_hopset
-from repro.hopsets.skeleton import hub_hopset
 from repro.mbf.dense import FlatStates
 from repro.oracle.oracle import HOracle
 from repro.pram.cost import NULL_LEDGER, CostLedger
@@ -49,13 +51,29 @@ class EmbeddingResult:
     meta: dict = field(default_factory=dict)
 
 
-def _draw_randomness(n: int, rng) -> tuple[np.ndarray, float]:
+def _draw_randomness(
+    n: int,
+    rng,
+    *,
+    rank: np.ndarray | None = None,
+    beta: float | None = None,
+) -> tuple[np.ndarray, float]:
+    """Resolve the FRT randomness ``(rank, beta)``, drawing only what is
+    missing.
+
+    Explicitly supplied values are used verbatim and consume *no* random
+    state — replaying a recorded ``(rank, beta)`` pair must not shift the
+    caller's downstream random stream.
+    """
     g = as_rng(rng)
-    perm = g.permutation(n)
-    rank = np.empty(n, dtype=np.int64)
-    rank[perm] = np.arange(n)
-    beta = float(g.uniform(1.0, 2.0))
-    return rank, beta
+    if rank is None:
+        perm = g.permutation(n)
+        r = np.empty(n, dtype=np.int64)
+        r[perm] = np.arange(n)
+    else:
+        r = np.asarray(rank, dtype=np.int64)
+    b = float(g.uniform(1.0, 2.0)) if beta is None else float(beta)
+    return r, b
 
 
 def sample_frt_tree(
@@ -72,21 +90,13 @@ def sample_frt_tree(
     ``SPD(G)`` MBF iterations (the Khan-et-al. regime — efficient only for
     small SPD).
     """
-    if not G.is_connected():
-        raise ValueError("FRT embeddings require a connected graph")
-    g = as_rng(rng)
-    r, b = _draw_randomness(G.n, g)
-    if rank is not None:
-        r = np.asarray(rank, dtype=np.int64)
-    if beta is not None:
-        b = float(beta)
-    lists, iters = compute_le_lists(G, r, ledger=ledger)
-    wmin, _ = G.weight_bounds()
-    tree = build_frt_tree(lists, r, b, wmin)
-    return EmbeddingResult(
-        tree=tree, rank=r, beta=b, le_lists=lists, iterations=iters,
-        meta={"pipeline": "direct"},
+    from repro.api.configs import EmbeddingConfig, PipelineConfig
+    from repro.api.pipeline import Pipeline
+
+    pipe = Pipeline(
+        G, PipelineConfig(embedding=EmbeddingConfig(method="direct")), rng=as_rng(rng)
     )
+    return pipe.sample(rank=rank, beta=beta, ledger=ledger)
 
 
 def sample_frt_tree_via_oracle(
@@ -112,35 +122,16 @@ def sample_frt_tree_via_oracle(
     ``O((1+eps)^{Λ+1} log n)`` w.r.t. ``G``.  Pre-built ``hopset`` /
     ``oracle`` objects may be supplied to amortize construction across
     samples (levels are part of ``H``'s definition, not of the FRT
-    randomness, so reuse is sound).
+    randomness, so reuse is sound); for repeated sampling prefer
+    :meth:`repro.api.Pipeline.sample_ensemble`, which amortizes
+    automatically.
     """
-    if not G.is_connected():
-        raise ValueError("FRT embeddings require a connected graph")
-    g = as_rng(rng)
-    if oracle is None:
-        if hopset is None:
-            base = hub_hopset(G, d0, rng=g)
-            hopset = rounded_hopset(base, G, eps) if eps > 0 else base
-        oracle = HOracle(hopset, rng=g)
-    r, b = _draw_randomness(G.n, g)
-    if rank is not None:
-        r = np.asarray(rank, dtype=np.int64)
-    if beta is not None:
-        b = float(beta)
-    lists, iters = compute_le_lists_via_oracle(oracle, r, ledger=ledger)
-    wmin, _ = G.weight_bounds()
-    tree = build_frt_tree(lists, r, b, wmin)
-    return EmbeddingResult(
-        tree=tree,
-        rank=r,
-        beta=b,
-        le_lists=lists,
-        iterations=iters,
-        meta={
-            "pipeline": "oracle",
-            "hop_d": oracle.d,
-            "Lambda": oracle.Lambda,
-            "penalty_base": oracle.penalty_base,
-            "eps": eps,
-        },
+    from repro.api.configs import EmbeddingConfig, HopsetConfig, PipelineConfig
+    from repro.api.pipeline import Pipeline
+
+    config = PipelineConfig(
+        hopset=HopsetConfig(eps=eps, d0=d0),
+        embedding=EmbeddingConfig(method="oracle"),
     )
+    pipe = Pipeline(G, config, rng=as_rng(rng), hopset=hopset, oracle=oracle)
+    return pipe.sample(rank=rank, beta=beta, ledger=ledger)

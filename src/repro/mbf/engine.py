@@ -63,16 +63,21 @@ def run_to_fixpoint(
     """Iterate until the filtered state vector stabilizes.
 
     Definition 2.11 notes a fixpoint is reached after at most ``SPD(G) < n``
-    iterations; we cap at ``max_iterations`` (default ``n + 1``) and raise if
-    it is exceeded (which would indicate a non-monotone filter bug).
+    iterations; we perform at most ``max_iterations`` iterations (default
+    ``n + 1``, enough to both reach and detect any proper fixpoint) and
+    raise if no fixpoint was found within the cap (which would indicate a
+    non-monotone filter bug).
 
     Returns ``(states, iterations)`` where ``iterations`` is the number of
     iterations *until* the fixpoint (i.e. the first ``i`` with
-    ``x^(i+1) = x^(i)``).
+    ``x^(i+1) = x^(i)``); detecting a fixpoint at ``i`` uses ``i + 1``
+    iterations, so ``iterations`` can be at most ``max_iterations - 1``.
     """
     cap = (G.n + 1) if max_iterations is None else max_iterations
+    if cap < 1:
+        raise ValueError("max_iterations must be >= 1")
     states = algo.filter_vector(x0)
-    for i in range(cap + 1):
+    for i in range(cap):
         nxt = iterate(G, algo, states)
         if algo.states_equal(nxt, states):
             return states, i

@@ -14,11 +14,13 @@ from repro.metric.approx_metric import (
     MetricResult,
     approximate_metric,
     approximate_metric_spanner,
+    metric_from_oracle,
 )
 from repro.metric.spanner import baswana_sen_spanner
 
 __all__ = [
     "MetricResult",
+    "metric_from_oracle",
     "approximate_metric",
     "approximate_metric_spanner",
     "baswana_sen_spanner",

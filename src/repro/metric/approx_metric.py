@@ -25,7 +25,12 @@ from repro.oracle.oracle import HOracle
 from repro.pram.cost import NULL_LEDGER, CostLedger
 from repro.util.rng import as_rng
 
-__all__ = ["MetricResult", "approximate_metric", "approximate_metric_spanner"]
+__all__ = [
+    "MetricResult",
+    "metric_from_oracle",
+    "approximate_metric",
+    "approximate_metric_spanner",
+]
 
 
 @dataclass
@@ -51,6 +56,37 @@ class MetricResult:
         return float(self.matrix[u, v])
 
 
+def metric_from_oracle(
+    oracle: HOracle,
+    *,
+    eps: float,
+    ledger: CostLedger = NULL_LEDGER,
+) -> MetricResult:
+    """The Theorem 6.1 post-processing, given an already-built oracle.
+
+    Runs the APSP query (min filter) on ``H`` and packages the exact
+    ``H``-distances with the a-priori ``(1+eps)^{Λ+1}`` stretch bound.
+    Shared by :func:`approximate_metric` and
+    :meth:`repro.api.Pipeline.embed_metric` (which amortizes the oracle).
+    """
+    states, iters = oracle.run(MinFilter(), ledger=ledger)
+    matrix = states.to_matrix()
+    # dist(v,·,H) arrives at row of v's sources; symmetrize index order:
+    # states[v][w] = dist(w → v) = dist(v, w) by symmetry of H.
+    bound = oracle.penalty_base ** (oracle.Lambda + 1)
+    return MetricResult(
+        matrix=matrix,
+        stretch_bound=float(bound),
+        iterations=iters,
+        meta={
+            "eps": eps,
+            "Lambda": oracle.Lambda,
+            "hop_d": oracle.d,
+            "spanner_k": None,
+        },
+    )
+
+
 def approximate_metric(
     G: Graph,
     *,
@@ -72,22 +108,7 @@ def approximate_metric(
     base = hub_hopset(G, d0, rng=g)
     hopset = rounded_hopset(base, G, eps) if eps > 0 else base
     oracle = HOracle(hopset, rng=g)
-    states, iters = oracle.run(MinFilter(), ledger=ledger)
-    matrix = states.to_matrix()
-    # dist(v,·,H) arrives at row of v's sources; symmetrize index order:
-    # states[v][w] = dist(w → v) = dist(v, w) by symmetry of H.
-    bound = oracle.penalty_base ** (oracle.Lambda + 1)
-    return MetricResult(
-        matrix=matrix,
-        stretch_bound=float(bound),
-        iterations=iters,
-        meta={
-            "eps": eps,
-            "Lambda": oracle.Lambda,
-            "hop_d": oracle.d,
-            "spanner_k": None,
-        },
-    )
+    return metric_from_oracle(oracle, eps=eps, ledger=ledger)
 
 
 def approximate_metric_spanner(

@@ -155,7 +155,9 @@ class HOracle:
         """Run an MBF-like algorithm on ``H``: ``A^h(H)`` (Theorem 5.2).
 
         With ``h=None`` iterates to the fixpoint — at most ``SPD(H) + 1``
-        iterations, i.e. ``O(log² n)`` w.h.p. (Theorem 4.5).  Returns
+        iterations, i.e. ``O(log² n)`` w.h.p. (Theorem 4.5) — performing at
+        most ``max_iterations`` H-iterations (default ``n + 1``), the same
+        cap semantics as :func:`repro.mbf.engine.run_to_fixpoint`.  Returns
         ``(states, iterations)``.
         """
         states = x0 if x0 is not None else FlatStates.from_sources(self.n, sources)
@@ -172,7 +174,9 @@ class HOracle:
                 states = self.h_iteration(states, spec, ledger=ledger)
             return states, h
         cap = (self.n + 1) if max_iterations is None else max_iterations
-        for i in range(cap + 1):
+        if cap < 1:
+            raise ValueError("max_iterations must be >= 1")
+        for i in range(cap):
             nxt = self.h_iteration(states, spec, ledger=ledger)
             if nxt.equals(states):
                 return states, i

@@ -1,0 +1,348 @@
+"""The Pipeline facade: artifact caching, batch sampling, legacy parity."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    EmbeddingConfig,
+    HopsetConfig,
+    OracleConfig,
+    Pipeline,
+    PipelineConfig,
+    PipelineResult,
+    generators as gen,
+)
+from repro.frt.embedding import (
+    _draw_randomness,
+    sample_frt_tree,
+    sample_frt_tree_via_oracle,
+)
+from repro.frt.lelists import compute_le_lists_via_oracle
+from repro.frt.tree import build_frt_tree
+from repro.graph.core import Graph
+from repro.graph.shortest_paths import dijkstra_distances
+from repro.hopsets import hub_hopset, rounded_hopset
+from repro.oracle import HOracle
+from repro.pram import CostLedger
+
+
+def _assert_same_embedding(a, b):
+    assert np.array_equal(a.rank, b.rank)
+    assert a.beta == b.beta
+    assert a.iterations == b.iterations
+    assert a.le_lists.to_dicts() == b.le_lists.to_dicts()
+    assert np.array_equal(a.tree.distance_matrix(), b.tree.distance_matrix())
+
+
+class TestLegacyParity:
+    def test_oracle_sample_matches_hand_wired_legacy(self):
+        """Pipeline.sample() is bit-identical to the pre-facade wiring
+        (hub_hopset → rounded_hopset → HOracle → LE lists → tree) when the
+        same generator is threaded through in the same order."""
+        g = gen.cycle(20, wmin=1, wmax=2, rng=0)
+        eps, d0, seed = 0.25, 4, 42
+
+        rng = np.random.default_rng(seed)
+        base = hub_hopset(g, d0, rng=rng)
+        hopset = rounded_hopset(base, g, eps)
+        oracle = HOracle(hopset, rng=rng)
+        r, b = _draw_randomness(g.n, rng)
+        lists, iters = compute_le_lists_via_oracle(oracle, r)
+        wmin, _ = g.weight_bounds()
+        legacy_tree = build_frt_tree(lists, r, b, wmin)
+
+        pipe = Pipeline(
+            g, PipelineConfig(hopset=HopsetConfig(eps=eps, d0=d0)), rng=seed
+        )
+        res = pipe.sample()
+        assert np.array_equal(res.rank, r)
+        assert res.beta == b
+        assert res.iterations == iters
+        assert np.array_equal(res.tree.distance_matrix(), legacy_tree.distance_matrix())
+
+    def test_wrapper_delegates_to_pipeline(self):
+        g = gen.grid(4, 4, rng=1)
+        a = sample_frt_tree_via_oracle(g, eps=0.25, d0=3, rng=5)
+        pipe = Pipeline(g, PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=3)), rng=5)
+        b = pipe.sample()
+        _assert_same_embedding(a, b)
+        assert a.meta["pipeline"] == b.meta["pipeline"] == "oracle"
+
+    def test_direct_wrapper_parity(self):
+        g = gen.cycle(12, rng=2)
+        a = sample_frt_tree(g, rng=9)
+        pipe = Pipeline(
+            g, PipelineConfig(embedding=EmbeddingConfig(method="direct")), rng=9
+        )
+        b = pipe.sample()
+        _assert_same_embedding(a, b)
+        assert b.meta["pipeline"] == "direct"
+        assert b.meta["backend"] == "dense"
+
+
+class TestArtifactCaching:
+    def test_one_build_across_samples(self):
+        g = gen.cycle(16, rng=3)
+        pipe = Pipeline(g, PipelineConfig(seed=0))
+        for _ in range(3):
+            pipe.sample()
+        assert pipe.stats["hopset_builds"] == 1
+        assert pipe.stats["oracle_builds"] == 1
+        assert pipe.stats["samples"] == 3
+        assert pipe.hopset() is pipe.hopset()
+        assert pipe.oracle() is pipe.oracle()
+
+    def test_injected_artifacts_not_counted(self):
+        g = gen.cycle(16, rng=3)
+        hop = rounded_hopset(hub_hopset(g, 3, rng=0), g, 0.25)
+        pipe = Pipeline(g, PipelineConfig(), hopset=hop, rng=1)
+        pipe.sample()
+        assert pipe.hopset() is hop
+        assert pipe.stats["hopset_builds"] == 0
+        assert pipe.stats["oracle_builds"] == 1
+
+    def test_direct_method_builds_nothing(self):
+        g = gen.cycle(10, rng=4)
+        pipe = Pipeline(
+            g, PipelineConfig(embedding=EmbeddingConfig(method="direct"), seed=0)
+        )
+        pipe.sample()
+        assert pipe.stats["hopset_builds"] == 0
+        assert pipe.stats["oracle_builds"] == 0
+
+    def test_timings_recorded(self):
+        g = gen.cycle(16, rng=3)
+        pipe = Pipeline(g, PipelineConfig(seed=0))
+        pipe.sample()
+        assert pipe.timings["hopset"] >= 0
+        assert pipe.timings["oracle"] >= 0
+        assert pipe.timings["samples"] >= 0
+
+
+class TestEnsemble:
+    def test_bit_identical_across_runs_and_reuses_one_build(self):
+        """The acceptance contract: k trees, deterministic under a fixed
+        seed, one hopset/oracle build amortized over the batch."""
+        g = gen.cycle(24, wmin=1, wmax=2, rng=5)
+        cfg = PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=4))
+
+        results = []
+        for _ in range(2):
+            pipe = Pipeline(g, cfg)
+            res = pipe.sample_ensemble(k=8, seed=0)
+            assert len(res) == 8
+            assert res.meta["stats"]["hopset_builds"] == 1
+            assert res.meta["stats"]["oracle_builds"] == 1
+            assert res.meta["stats"]["samples"] == 8
+            results.append(res)
+        for a, b in zip(results[0], results[1]):
+            _assert_same_embedding(a, b)
+
+    def test_samples_are_independent(self):
+        g = gen.cycle(16, rng=6)
+        res = Pipeline(g, PipelineConfig()).sample_ensemble(k=4, seed=1)
+        betas = {e.beta for e in res}
+        assert len(betas) == 4  # distinct child streams
+
+    def test_ledgers_join_as_parallel_branches(self):
+        g = gen.cycle(16, rng=6)
+        res = Pipeline(g, PipelineConfig()).sample_ensemble(k=3, seed=2)
+        assert len(res.ledgers) == 3
+        assert all(led.work > 0 for led in res.ledgers)
+        assert res.ledger.work == sum(led.work for led in res.ledgers)
+        assert res.ledger.depth == max(led.depth for led in res.ledgers)
+
+    def test_workers_match_serial(self):
+        g = gen.cycle(12, rng=7)
+        cfg = PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=3))
+        serial = Pipeline(g, cfg).sample_ensemble(k=3, seed=3)
+        parallel = Pipeline(g, cfg).sample_ensemble(k=3, seed=3, workers=2)
+        for a, b in zip(serial, parallel):
+            _assert_same_embedding(a, b)
+        assert parallel.ledger.work == serial.ledger.work
+
+    def test_seed_none_continues_pipeline_stream(self):
+        g = gen.cycle(12, rng=7)
+        a = Pipeline(g, PipelineConfig(seed=11)).sample_ensemble(k=2)
+        b = Pipeline(g, PipelineConfig(seed=11)).sample_ensemble(k=2)
+        for x, y in zip(a, b):
+            _assert_same_embedding(x, y)
+
+    def test_batch_seed_does_not_shift_pipeline_stream(self):
+        """Regression: a seeded batch must not replace the pipeline's own
+        RNG stream — later sample() calls draw from the constructor
+        stream, as if the batch had never happened."""
+        g = gen.cycle(16, rng=5)
+        cfg = PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=4))
+        p1 = Pipeline(g, cfg, rng=0)
+        p1.sample_ensemble(k=2, seed=5)
+        after_batch = p1.sample()
+        p2 = Pipeline(g, cfg, rng=0, hopset=p1.hopset(), oracle=p1.oracle())
+        _assert_same_embedding(after_batch, p2.sample())
+
+    def test_size_validated(self):
+        g = gen.cycle(8, rng=8)
+        with pytest.raises(ValueError):
+            Pipeline(g, PipelineConfig(seed=0)).sample_ensemble(k=0)
+
+    def test_result_structure_and_provenance(self):
+        g = gen.cycle(16, rng=9)
+        cfg = PipelineConfig(hopset=HopsetConfig(eps=0.5, d0=3), seed=4)
+        res = Pipeline(g, cfg).sample_ensemble(k=2)
+        assert isinstance(res, PipelineResult)
+        assert res.size == len(res.trees) == len(res.iterations) == 2
+        assert res.ensemble().size == 2
+        assert res.timings["total"] > 0
+        # meta round-trips back into an identical config
+        assert PipelineConfig.from_dict(res.meta["config"]) == cfg
+        assert res.meta["n"] == g.n and res.meta["m"] == g.m
+        assert res.meta["method"] == "oracle"
+        assert res.meta["hopset"]["d"] == 7
+        assert res.meta["oracle"]["penalty_base"] == pytest.approx(1.5)
+
+    def test_batch_timings_are_per_batch(self):
+        """Regression: result timings cover only this batch — stages done
+        before the call (artifact builds, earlier samples) are excluded."""
+        g = gen.cycle(16, rng=9)
+        pipe = Pipeline(g, PipelineConfig(seed=4))
+        pipe.sample()  # builds artifacts and samples before the batch
+        res = pipe.sample_ensemble(k=2)
+        assert "samples" in res.timings
+        assert "hopset" not in res.timings and "oracle" not in res.timings
+        assert res.timings["samples"] <= res.timings["total"] + 1e-9
+        par = Pipeline(g, PipelineConfig(seed=4)).sample_ensemble(k=2, workers=2)
+        assert "samples" in par.timings  # pool wall-time recorded too
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineResult(embeddings=[], ledger=CostLedger())
+
+
+class TestDistanceQueries:
+    def test_metric_dominates_and_respects_bound(self):
+        g = gen.random_graph(20, 50, rng=10)
+        pipe = Pipeline(g, PipelineConfig(seed=1))
+        dq = pipe.distance_oracle()
+        D = dijkstra_distances(g)
+        off = ~np.eye(g.n, dtype=bool)
+        M = dq.matrix()
+        assert np.all(M[off] >= D[off] - 1e-9)
+        assert float((M[off] / D[off]).max()) <= dq.stretch_bound + 1e-9
+        assert dq.query(0, 5) == M[0, 5]
+        assert np.array_equal(dq.distances([0, 1], [5, 6]), M[[0, 1], [5, 6]])
+        assert dq.n == g.n
+
+    def test_metric_cached_and_shares_artifacts(self):
+        g = gen.cycle(16, rng=11)
+        pipe = Pipeline(g, PipelineConfig(seed=2))
+        pipe.sample()  # builds hopset + oracle
+        m1 = pipe.embed_metric()
+        m2 = pipe.embed_metric()
+        assert m1 is m2
+        assert pipe.stats["hopset_builds"] == 1
+        assert pipe.stats["metric_builds"] == 1
+
+    def test_metric_ledger_charged_even_when_cached(self):
+        """Regression: a cached metric must not silently report zero cost
+        when the caller asks for a ledger-instrumented run."""
+        g = gen.cycle(12, rng=11)
+        pipe = Pipeline(g, PipelineConfig(seed=2))
+        pipe.embed_metric()  # warm the cache
+        ledger = CostLedger()
+        pipe.embed_metric(ledger=ledger)
+        assert ledger.work > 0 and ledger.depth > 0
+
+    def test_penalty_base_override(self):
+        g = gen.cycle(16, rng=12)
+        pipe = Pipeline(
+            g,
+            PipelineConfig(
+                hopset=HopsetConfig(eps=0.5, d0=3),
+                oracle=OracleConfig(penalty_base=1.6),
+                seed=3,
+            ),
+        )
+        assert pipe.oracle().penalty_base == pytest.approx(1.6)
+
+    def test_penalty_base_below_theorem_bound_rejected(self):
+        """penalty_base < 1 + eps would report a stretch bound the metric
+        cannot honor (Theorem 4.5); the pipeline rejects it at build time."""
+        g = gen.cycle(16, rng=12)
+        pipe = Pipeline(
+            g,
+            PipelineConfig(
+                hopset=HopsetConfig(eps=0.5, d0=3),
+                oracle=OracleConfig(penalty_base=1.1),
+                seed=3,
+            ),
+        )
+        with pytest.raises(ValueError, match="Theorem 4.5"):
+            pipe.oracle()
+
+
+class TestHopsetKinds:
+    def test_identity_kind_single_iteration(self):
+        g = gen.grid(4, 4, rng=13)
+        pipe = Pipeline(
+            g, PipelineConfig(hopset=HopsetConfig(kind="identity", eps=0.0), seed=0)
+        )
+        res = pipe.sample()
+        assert res.iterations == 1  # H is the exact metric
+        assert pipe.hopset().extra_edges == 0
+
+    def test_exact_closure_kind(self):
+        g = gen.cycle(12, rng=14)
+        pipe = Pipeline(
+            g,
+            PipelineConfig(hopset=HopsetConfig(kind="exact-closure", eps=0.0), seed=0),
+        )
+        res = pipe.sample()
+        assert pipe.hopset().d == 1
+        D = dijkstra_distances(g)
+        assert np.all(res.tree.distance_matrix() >= D - 1e-9)
+
+
+class TestValidationAndBackends:
+    def test_disconnected_rejected(self):
+        g = Graph.from_edge_list(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError, match="connected"):
+            Pipeline(g, PipelineConfig())
+
+    def test_bad_types_rejected(self):
+        g = gen.cycle(8, rng=15)
+        with pytest.raises(TypeError):
+            Pipeline("not-a-graph", PipelineConfig())
+        with pytest.raises(TypeError):
+            Pipeline(g, {"seed": 0})
+
+    def test_unknown_backend_fails_at_sample_time(self):
+        g = gen.cycle(8, rng=15)
+        cfg = PipelineConfig(
+            embedding=EmbeddingConfig(method="direct", backend="missing")
+        )
+        pipe = Pipeline(g, cfg, rng=0)  # lazy: construction succeeds
+        with pytest.raises(KeyError, match="missing"):
+            pipe.sample()
+
+    def test_reference_backend_end_to_end(self):
+        g = gen.cycle(10, rng=16)
+        direct_ref = Pipeline(
+            g,
+            PipelineConfig(
+                embedding=EmbeddingConfig(method="direct", backend="reference")
+            ),
+            rng=4,
+        ).sample()
+        direct_dense = Pipeline(
+            g,
+            PipelineConfig(embedding=EmbeddingConfig(method="direct")),
+            rng=4,
+        ).sample()
+        _assert_same_embedding(direct_ref, direct_dense)
+        assert direct_ref.meta["backend"] == "reference"
+
+    def test_ledger_threaded_through_sample(self):
+        g = gen.cycle(12, rng=17)
+        ledger = CostLedger()
+        Pipeline(g, PipelineConfig(seed=5)).sample(ledger=ledger)
+        assert ledger.work > 0 and ledger.depth > 0

@@ -1,0 +1,94 @@
+"""The string-keyed MBF backend registry of repro.api."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    MBFBackend,
+    available_backends,
+    generators as gen,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.mbf.dense import FlatStates
+
+
+class TestLookup:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert "dense" in names
+        assert "reference" in names
+        assert names == tuple(sorted(names))
+
+    def test_get_backend(self):
+        b = get_backend("dense")
+        assert b.name == "dense"
+        assert b.module == "repro.mbf.dense"
+        assert callable(b.le_lists)
+
+    def test_unknown_key_raises_with_available_set(self):
+        with pytest.raises(KeyError, match="dense"):
+            get_backend("nope")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError):
+            unregister_backend("nope")
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        backend = MBFBackend(name="test-third-party", le_lists=lambda G, r, **kw: (None, 0))
+        try:
+            register_backend(backend)
+            assert get_backend("test-third-party") is backend
+            assert "test-third-party" in available_backends()
+        finally:
+            unregister_backend("test-third-party")
+        assert "test-third-party" not in available_backends()
+
+    def test_duplicate_requires_overwrite(self):
+        backend = MBFBackend(name="test-dup", le_lists=lambda G, r, **kw: (None, 0))
+        try:
+            register_backend(backend)
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend(backend)
+            replacement = MBFBackend(name="test-dup", le_lists=lambda G, r, **kw: (None, 1))
+            register_backend(replacement, overwrite=True)
+            assert get_backend("test-dup") is replacement
+        finally:
+            unregister_backend("test-dup")
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            MBFBackend(name="", le_lists=lambda G, r: (None, 0))
+        with pytest.raises(TypeError):
+            MBFBackend(name="x", le_lists="not-callable")
+        with pytest.raises(TypeError):
+            register_backend("dense")
+
+
+class TestBackendEquivalence:
+    def test_dense_and_reference_agree(self):
+        g = gen.random_graph(14, 30, rng=0)
+        rank = np.random.default_rng(1).permutation(g.n)
+        dense, it_d = get_backend("dense").le_lists(g, rank)
+        ref, it_r = get_backend("reference").le_lists(g, rank)
+        assert isinstance(ref, FlatStates)
+        assert dense.to_dicts() == pytest.approx(ref.to_dicts())
+        assert it_d == it_r
+
+    def test_fixed_iteration_count(self):
+        g = gen.cycle(10, rng=2)
+        rank = np.random.default_rng(3).permutation(g.n)
+        dense, it_d = get_backend("dense").le_lists(g, rank, h=2)
+        ref, it_r = get_backend("reference").le_lists(g, rank, h=2)
+        assert it_d == it_r == 2
+        assert dense.to_dicts() == pytest.approx(ref.to_dicts())
+
+    def test_rank_validated(self):
+        g = gen.cycle(6, rng=4)
+        bad = np.zeros(6, dtype=np.int64)
+        for name in ("dense", "reference"):
+            with pytest.raises(ValueError):
+                get_backend(name).le_lists(g, bad)

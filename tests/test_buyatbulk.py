@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.apps.buyatbulk import (
-    BuyAtBulkResult,
     CableType,
     Demand,
     buy_at_bulk,

@@ -84,6 +84,62 @@ class TestOraclePipeline:
         assert res.iterations == 1
 
 
+class TestExplicitRandomnessConsumesNoState:
+    """Regression: explicitly supplied ``rank``/``beta`` must not draw from
+    the RNG — the old code always drew both and discarded the overrides,
+    silently shifting the caller's downstream random stream."""
+
+    def _state(self, rng):
+        return rng.bit_generator.state
+
+    def test_both_explicit_leaves_rng_untouched(self):
+        g = gen.cycle(10, rng=0)
+        rank = np.arange(10, dtype=np.int64)
+        rng = np.random.default_rng(123)
+        sample_frt_tree(g, rng=rng, rank=rank, beta=1.5)
+        assert self._state(rng) == self._state(np.random.default_rng(123))
+
+    def test_both_explicit_via_oracle_leaves_rng_untouched(self):
+        g = gen.cycle(10, rng=0)
+        oracle = HOracle(rounded_hopset(hub_hopset(g, d0=3, rng=1), g, 0.25), rng=2)
+        rank = np.arange(10, dtype=np.int64)
+        rng = np.random.default_rng(123)
+        sample_frt_tree_via_oracle(g, oracle=oracle, rng=rng, rank=rank, beta=1.5)
+        assert self._state(rng) == self._state(np.random.default_rng(123))
+
+    def test_explicit_rank_draws_only_beta(self):
+        g = gen.cycle(10, rng=0)
+        rank = np.arange(10, dtype=np.int64)
+        rng = np.random.default_rng(7)
+        res = sample_frt_tree(g, rng=rng, rank=rank)
+        expect = np.random.default_rng(7)
+        assert res.beta == float(expect.uniform(1.0, 2.0))
+        assert self._state(rng) == self._state(expect)
+
+    def test_explicit_beta_draws_only_rank(self):
+        g = gen.cycle(10, rng=0)
+        rng = np.random.default_rng(7)
+        res = sample_frt_tree(g, rng=rng, beta=1.25)
+        expect = np.random.default_rng(7)
+        perm = expect.permutation(10)
+        want = np.empty(10, dtype=np.int64)
+        want[perm] = np.arange(10)
+        assert res.beta == 1.25
+        assert np.array_equal(res.rank, want)
+        assert self._state(rng) == self._state(expect)
+
+    def test_default_draw_order_unchanged(self):
+        """No overrides: permutation then beta, as before the fix."""
+        g = gen.cycle(10, rng=0)
+        res = sample_frt_tree(g, rng=99)
+        expect = np.random.default_rng(99)
+        perm = expect.permutation(10)
+        want = np.empty(10, dtype=np.int64)
+        want[perm] = np.arange(10)
+        assert np.array_equal(res.rank, want)
+        assert res.beta == float(expect.uniform(1.0, 2.0))
+
+
 class TestPathReconstruction:
     def test_reconstruct_shortest_path(self):
         g = gen.grid(4, 5, rng=0)

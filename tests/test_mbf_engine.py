@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.algebra import DistanceMapModule, MinPlus, SemiringAsModule
+from repro.algebra import DistanceMapModule
 from repro.graph import generators as gen
 from repro.graph.shortest_paths import (
     dijkstra_distances,
@@ -112,6 +112,24 @@ class TestFixpoint:
         states, iters = run_to_fixpoint(g, inst.algo, inst.x0)
         assert iters == 5
         assert inst.decode(states).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_cap_is_exactly_max_iterations(self):
+        """Regression: the loop ran ``max_iterations + 1`` times despite the
+        docstring's promise.  Detecting the fixpoint at iteration count f
+        needs f + 1 iterations: for this path graph f = 5, so a cap of 6
+        succeeds and a cap of 5 must raise."""
+        g = gen.path_graph(6)
+        inst = zoo.sssp(6, 0)
+        _, iters = run_to_fixpoint(g, inst.algo, inst.x0, max_iterations=6)
+        assert iters == 5
+        with pytest.raises(RuntimeError, match="no fixpoint within 5"):
+            run_to_fixpoint(g, inst.algo, inst.x0, max_iterations=5)
+
+    def test_cap_must_be_positive(self):
+        g = gen.path_graph(3)
+        inst = zoo.sssp(3, 0)
+        with pytest.raises(ValueError):
+            run_to_fixpoint(g, inst.algo, inst.x0, max_iterations=0)
 
 
 class TestNonSimpleLinearCounterexample:

@@ -149,5 +149,10 @@ class TestOracleSemantics:
         g = gen.cycle(8, rng=0)
         hop = identity_hopset(g)
         oracle = HOracle(hop, rng=1)
-        with pytest.raises(RuntimeError):
+        # Same cap semantics as repro.mbf.engine.run_to_fixpoint: a
+        # non-positive cap is a caller error, a positive cap that is too
+        # small to reach/detect the fixpoint is a RuntimeError.
+        with pytest.raises(ValueError):
             oracle.run(MinFilter(), max_iterations=0)
+        with pytest.raises(RuntimeError):
+            oracle.run(MinFilter(), max_iterations=1)
