@@ -7,7 +7,8 @@ is the canonical way to drive it:
 - :class:`~repro.api.pipeline.Pipeline` — lazily builds and caches the
   expensive stage artifacts (hop set, oracle) and exposes ``sample()``,
   ``sample_ensemble(k)`` (amortized batch sampling with per-sample child
-  RNGs and optional process-pool parallelism), ``distance_oracle()`` and
+  RNGs, optional process-pool parallelism, and a fused
+  ``mode="batched"`` multi-sample engine), ``distance_oracle()`` and
   ``embed_metric()``;
 - :mod:`~repro.api.configs` — frozen, validated stage configs
   (:class:`HopsetConfig`, :class:`OracleConfig`, :class:`EmbeddingConfig`,
@@ -40,6 +41,7 @@ from importlib import import_module
 
 from repro.api.configs import (
     EMBEDDING_METHODS,
+    ENSEMBLE_MODES,
     HOPSET_KINDS,
     EmbeddingConfig,
     HopsetConfig,
@@ -80,6 +82,7 @@ __all__ = [
     "EmbeddingConfig",
     "HOPSET_KINDS",
     "EMBEDDING_METHODS",
+    "ENSEMBLE_MODES",
     "PipelineResult",
     "DistanceOracle",
     # backend registry

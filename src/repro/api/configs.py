@@ -19,10 +19,12 @@ __all__ = [
     "PipelineConfig",
     "HOPSET_KINDS",
     "EMBEDDING_METHODS",
+    "ENSEMBLE_MODES",
 ]
 
 HOPSET_KINDS = ("hub", "identity", "exact-closure")
 EMBEDDING_METHODS = ("oracle", "direct")
+ENSEMBLE_MODES = ("serial", "batched")
 
 
 class _ConfigBase:
@@ -133,10 +135,18 @@ class EmbeddingConfig(_ConfigBase):
         Registry key of the MBF engine used for the ``"direct"`` LE-list
         computation (see :mod:`repro.api.registry`); existence is checked
         lazily at first use so third-party backends can register late.
+    ensemble_mode:
+        Default mode for :meth:`~repro.api.pipeline.Pipeline.sample_ensemble`:
+        ``"serial"`` — one LE-list computation per sample (optionally over a
+        process pool); ``"batched"`` — all ``k`` samples in one vectorized
+        multi-sample pass (bit-identical results, higher throughput, peak
+        memory scales with ``k``).  A ``mode=`` argument to
+        ``sample_ensemble`` overrides this per call.
     """
 
     method: str = "oracle"
     backend: str = "dense"
+    ensemble_mode: str = "serial"
 
     def __post_init__(self):
         if self.method not in EMBEDDING_METHODS:
@@ -145,6 +155,10 @@ class EmbeddingConfig(_ConfigBase):
             )
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError("embedding backend must be a non-empty registry key")
+        if self.ensemble_mode not in ENSEMBLE_MODES:
+            raise ValueError(
+                f"ensemble_mode must be one of {ENSEMBLE_MODES}, got {self.ensemble_mode!r}"
+            )
 
 
 @dataclass(frozen=True)

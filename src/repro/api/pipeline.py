@@ -26,11 +26,14 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-from repro.api.configs import PipelineConfig
+from repro.api.configs import ENSEMBLE_MODES, PipelineConfig
 from repro.api.registry import get_backend
 from repro.api.result import DistanceOracle, PipelineResult
 from repro.frt.embedding import EmbeddingResult, _draw_randomness
-from repro.frt.lelists import compute_le_lists_via_oracle
+from repro.frt.lelists import (
+    compute_le_lists_batch_via_oracle,
+    compute_le_lists_via_oracle,
+)
 from repro.frt.tree import build_frt_tree
 from repro.graph.core import Graph
 from repro.hopsets.base import HopSetResult
@@ -174,11 +177,13 @@ class Pipeline:
         hop set and oracle.
         """
         g = self._rng if rng is None else as_rng(rng)
-        t0 = time.perf_counter()
         method = self.config.embedding.method
+        # Both branches start the clock only after their artifact/backend
+        # resolution, so ``timings["samples"]`` measures exactly the
+        # sampling work.
         if method == "oracle":
             oracle = self.oracle()
-            t0 = time.perf_counter()  # exclude any first-call artifact build
+            t0 = time.perf_counter()
             r, b = _draw_randomness(self.G.n, g, rank=rank, beta=beta)
             lists, iters = compute_le_lists_via_oracle(oracle, r, ledger=ledger)
             extra_meta = {
@@ -189,6 +194,7 @@ class Pipeline:
             }
         else:
             backend = get_backend(self.config.embedding.backend)
+            t0 = time.perf_counter()
             r, b = _draw_randomness(self.G.n, g, rank=rank, beta=beta)
             lists, iters = backend.le_lists(self.G, r, ledger=ledger)
             extra_meta = {"backend": backend.name}
@@ -213,13 +219,14 @@ class Pipeline:
         *,
         seed: int | None = None,
         workers: int | None = None,
+        mode: str | None = None,
     ) -> PipelineResult:
         """Sample ``k`` independent trees, amortizing one artifact build.
 
         The hop set / oracle are built (at most) once and shared by all
         ``k`` samples; each sample draws from its own spawned child
         generator, so the batch is bit-reproducible under a fixed ``seed``
-        regardless of ``workers``.
+        regardless of ``workers`` or ``mode``.
 
         Parameters
         ----------
@@ -236,9 +243,28 @@ class Pipeline:
             backends are shipped to the workers by value, so their
             ``le_lists`` driver must be picklable (a module-level
             function, not a lambda) under spawn/forkserver start methods.
+            Only meaningful for ``mode="serial"``.
+        mode:
+            ``"serial"`` — one LE-list computation per sample (the legacy
+            loop); ``"batched"`` — all ``k`` LE-list computations fused
+            into one vectorized multi-sample pass (see
+            :mod:`repro.mbf.dense`), bit-identical to the serial loop
+            sample for sample (trees, iteration counts, ledger totals).
+            ``None`` uses ``config.embedding.ensemble_mode``.
         """
         if k < 1:
             raise ValueError("ensemble size k must be >= 1")
+        if mode is None:
+            mode = self.config.embedding.ensemble_mode
+        if mode not in ENSEMBLE_MODES:
+            raise ValueError(
+                f"mode must be one of {ENSEMBLE_MODES}, got {mode!r}"
+            )
+        if mode == "batched" and workers is not None and workers > 1:
+            raise ValueError(
+                "mode='batched' runs in-process; process-pool fan-out "
+                "(workers > 1) applies only to mode='serial'"
+            )
         t_total = time.perf_counter()
         timings_before = dict(self.timings)
         if seed is not None:
@@ -264,7 +290,9 @@ class Pipeline:
         if self.config.embedding.method == "oracle":
             self.oracle()
         pairs: list[tuple[EmbeddingResult, CostLedger]] = []
-        if workers is None or workers <= 1:
+        if mode == "batched":
+            pairs = self._sample_batch(children)
+        elif workers is None or workers <= 1:
             for child in children:
                 ledger = CostLedger()
                 emb = self.sample(rng=child, ledger=ledger)
@@ -308,8 +336,69 @@ class Pipeline:
             ledger=merged,
             ledgers=ledgers,
             timings=timings,
-            meta=self._provenance(k=k, seed=seed, workers=workers),
+            meta=self._provenance(k=k, seed=seed, workers=workers, mode=mode),
         )
+
+    def _sample_batch(
+        self, children: list[np.random.Generator]
+    ) -> list[tuple[EmbeddingResult, CostLedger]]:
+        """One fused multi-sample LE-list pass for the whole ensemble.
+
+        Draws each sample's ``(rank, beta)`` from its own child generator
+        (the same per-child order as the serial loop, so the randomness is
+        bit-identical), stacks the ranks into a ``(k, n)`` matrix, runs the
+        batched engine once, and builds the ``k`` trees from the per-sample
+        list slices.
+        """
+        k = len(children)
+        method = self.config.embedding.method
+        if method == "oracle":
+            oracle = self.oracle()  # cached; built by the caller already
+            backend = None
+        else:
+            backend = get_backend(self.config.embedding.backend)
+            if backend.le_lists_batch is None:
+                raise ValueError(
+                    f"backend {backend.name!r} has no batched LE-list driver; "
+                    "use mode='serial' or a batch-capable backend "
+                    "(e.g. 'dense', 'dense-batched')"
+                )
+        t0 = time.perf_counter()
+        draws = [_draw_randomness(self.G.n, g) for g in children]
+        ranks = np.stack([r for r, _ in draws])
+        ledgers = [CostLedger() for _ in range(k)]
+        if method == "oracle":
+            lists, iters = compute_le_lists_batch_via_oracle(
+                oracle, ranks, ledgers=ledgers
+            )
+            extra_meta = {
+                "hop_d": oracle.d,
+                "Lambda": oracle.Lambda,
+                "penalty_base": oracle.penalty_base,
+                "eps": self.config.hopset.eps,
+            }
+        else:
+            lists, iters = backend.le_lists_batch(self.G, ranks, ledgers=ledgers)
+            extra_meta = {"backend": backend.name}
+        wmin, _ = self.G.weight_bounds()
+        pairs: list[tuple[EmbeddingResult, CostLedger]] = []
+        for s, ((r, b), ledger) in enumerate(zip(draws, ledgers)):
+            sample_lists = lists.sample_states(s)
+            tree = build_frt_tree(sample_lists, r, b, wmin)
+            emb = EmbeddingResult(
+                tree=tree,
+                rank=r,
+                beta=b,
+                le_lists=sample_lists,
+                iterations=int(iters[s]),
+                meta={"pipeline": method, **extra_meta},
+            )
+            pairs.append((emb, ledger))
+        self.stats["samples"] += k
+        self.timings["samples"] = self.timings.get("samples", 0.0) + (
+            time.perf_counter() - t0
+        )
+        return pairs
 
     # -- distance queries -----------------------------------------------------
 

@@ -14,19 +14,22 @@ their own:
 >>> register_backend(MBFBackend(name="mine", le_lists=my_le_lists))
 
 A backend is described by its LE-list driver (the pipeline's workhorse
-query, Definition 7.3); the underlying module stays reachable through
-:attr:`MBFBackend.module` for engine-specific entry points.
+query, Definition 7.3) plus an optional *batched* driver that computes the
+lists of ``k`` random orders in one vectorized pass (the ensemble hot
+path; ``"dense"`` and ``"dense-batched"`` ship one).  The underlying
+module stays reachable through :attr:`MBFBackend.module` for
+engine-specific entry points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.graph.core import Graph
-from repro.mbf.dense import FlatStates
+from repro.mbf.dense import BatchedFlatStates, FlatStates
 from repro.pram.cost import NULL_LEDGER, CostLedger
 
 __all__ = [
@@ -50,6 +53,14 @@ class MBFBackend:
         Driver computing LE lists on a graph:
         ``le_lists(G, rank, h=None, ledger=...) -> (FlatStates, iterations)``
         with ``h=None`` meaning "iterate to the fixpoint".
+    le_lists_batch:
+        Optional batched driver computing the LE lists of ``k`` random
+        orders in one pass:
+        ``le_lists_batch(G, ranks, h=None, ledgers=...) ->
+        (BatchedFlatStates, iterations)`` where ``ranks`` is ``(k, n)``,
+        ``ledgers`` an optional per-sample ledger sequence, and
+        ``iterations`` a ``(k,)`` array.  Backends without one (``None``)
+        only support ``Pipeline.sample_ensemble(mode="serial")``.
     description:
         One-line human-readable summary (shown by CLI/benchmark reports).
     module:
@@ -58,6 +69,7 @@ class MBFBackend:
 
     name: str
     le_lists: Callable[..., tuple[FlatStates, int]]
+    le_lists_batch: Callable[..., tuple[BatchedFlatStates, np.ndarray]] | None = None
     description: str = ""
     module: str = ""
 
@@ -66,6 +78,8 @@ class MBFBackend:
             raise ValueError("backend name must be a non-empty string")
         if not callable(self.le_lists):
             raise TypeError("backend le_lists must be callable")
+        if self.le_lists_batch is not None and not callable(self.le_lists_batch):
+            raise TypeError("backend le_lists_batch must be callable (or None)")
 
 
 _REGISTRY: dict[str, MBFBackend] = {}
@@ -124,6 +138,41 @@ def _dense_le_lists(
     return compute_le_lists(G, rank, h=h, ledger=ledger)
 
 
+def _dense_le_lists_batch(
+    G: Graph,
+    ranks: np.ndarray,
+    *,
+    h: int | None = None,
+    ledgers: Sequence[CostLedger] | None = None,
+) -> tuple[BatchedFlatStates, np.ndarray]:
+    from repro.frt.lelists import compute_le_lists_batch
+
+    return compute_le_lists_batch(G, ranks, h=h, ledgers=ledgers)
+
+
+def _dense_batched_le_lists(
+    G: Graph,
+    rank: np.ndarray,
+    *,
+    h: int | None = None,
+    ledger: CostLedger = NULL_LEDGER,
+) -> tuple[FlatStates, int]:
+    """Single-sample driver routed through the batched engine (``k=1``).
+
+    Exists so the batched kernels can be exercised/benchmarked through the
+    ordinary backend interface; bit-identical to the ``"dense"`` driver.
+    """
+    from repro.frt.lelists import compute_le_lists_batch
+
+    lists, iters = compute_le_lists_batch(
+        G,
+        np.asarray(rank, dtype=np.int64)[None, :],
+        h=h,
+        ledgers=None if ledger is NULL_LEDGER else [ledger],
+    )
+    return lists.sample_states(0), int(iters[0])
+
+
 def _reference_le_lists(
     G: Graph,
     rank: np.ndarray,
@@ -177,7 +226,17 @@ register_backend(
     MBFBackend(
         name="dense",
         le_lists=_dense_le_lists,
+        le_lists_batch=_dense_le_lists_batch,
         description="vectorized flat-array engine (production path)",
+        module="repro.mbf.dense",
+    )
+)
+register_backend(
+    MBFBackend(
+        name="dense-batched",
+        le_lists=_dense_batched_le_lists,
+        le_lists_batch=_dense_le_lists_batch,
+        description="batched flat-array engine (multi-sample ensemble path)",
         module="repro.mbf.dense",
     )
 )

@@ -14,20 +14,38 @@ Two drivers:
 - :func:`compute_le_lists_via_oracle` — iterate on the simulated graph
   ``H`` through the :class:`~repro.oracle.HOracle` (``O(log² n)``
   iterations w.h.p.; the paper's Theorem 7.9 engine).
+
+Each has a batched counterpart (:func:`compute_le_lists_batch`,
+:func:`compute_le_lists_batch_via_oracle`) that computes the LE lists of
+``k`` independent random orders in one vectorized pass — the ensemble hot
+path behind ``Pipeline.sample_ensemble(mode="batched")``.  Per-sample
+results (lists, iteration counts, optional ledger charges) are
+bit-identical to ``k`` serial calls.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.graph.core import Graph
-from repro.mbf.dense import FlatStates, LEFilter, run_dense
+from repro.mbf.dense import (
+    BatchedFlatStates,
+    BatchedLEFilter,
+    FlatStates,
+    LEFilter,
+    run_dense,
+    run_dense_batched,
+)
 from repro.oracle.oracle import HOracle
 from repro.pram.cost import NULL_LEDGER, CostLedger
 
 __all__ = [
     "compute_le_lists",
+    "compute_le_lists_batch",
     "compute_le_lists_via_oracle",
+    "compute_le_lists_batch_via_oracle",
     "le_lists_as_arrays",
     "max_list_length",
 ]
@@ -66,6 +84,55 @@ def compute_le_lists_via_oracle(
     return oracle.run(LEFilter(rank), h=h, ledger=ledger)
 
 
+def compute_le_lists_batch(
+    G: Graph,
+    ranks: np.ndarray,
+    *,
+    h: int | None = None,
+    max_iterations: int | None = None,
+    ledgers: Sequence[CostLedger] | None = None,
+) -> tuple[BatchedFlatStates, np.ndarray]:
+    """LE lists of ``G`` for ``k`` random orders in one batched pass.
+
+    ``ranks`` is a ``(k, n)`` matrix of permutations; ``ledgers``, when
+    given, holds one :class:`~repro.pram.cost.CostLedger` per sample.
+    Returns ``(lists, iterations)`` with per-sample iteration counts;
+    sample ``s`` is bit-identical to ``compute_le_lists(G, ranks[s])``.
+    """
+    ranks = _check_ranks(G.n, ranks)
+    return run_dense_batched(
+        G,
+        BatchedLEFilter(ranks),
+        ranks.shape[0],
+        h=h,
+        max_iterations=max_iterations,
+        ledgers=ledgers,
+    )
+
+
+def compute_le_lists_batch_via_oracle(
+    oracle: HOracle,
+    ranks: np.ndarray,
+    *,
+    h: int | None = None,
+    max_iterations: int | None = None,
+    ledgers: Sequence[CostLedger] | None = None,
+) -> tuple[BatchedFlatStates, np.ndarray]:
+    """LE lists of the simulated graph ``H`` for ``k`` orders in one pass.
+
+    The batched analogue of :func:`compute_le_lists_via_oracle`; sample
+    ``s`` is bit-identical to the serial call with ``ranks[s]``.
+    """
+    ranks = _check_ranks(oracle.n, ranks)
+    return oracle.run_batch(
+        BatchedLEFilter(ranks),
+        ranks.shape[0],
+        h=h,
+        max_iterations=max_iterations,
+        ledgers=ledgers,
+    )
+
+
 def _check_rank(n: int, rank: np.ndarray) -> np.ndarray:
     rank = np.asarray(rank, dtype=np.int64)
     if rank.shape != (n,):
@@ -73,6 +140,19 @@ def _check_rank(n: int, rank: np.ndarray) -> np.ndarray:
     if not np.array_equal(np.sort(rank), np.arange(n)):
         raise ValueError("rank must be a permutation of 0..n-1")
     return rank
+
+
+def _check_ranks(n: int, ranks: np.ndarray) -> np.ndarray:
+    ranks = np.asarray(ranks, dtype=np.int64)
+    if ranks.ndim != 2 or ranks.shape[1] != n:
+        raise ValueError(f"ranks must have shape (k, {n})")
+    if ranks.shape[0] < 1:
+        raise ValueError("need at least one sample")
+    if not np.array_equal(
+        np.sort(ranks, axis=1), np.broadcast_to(np.arange(n), ranks.shape)
+    ):
+        raise ValueError("every row of ranks must be a permutation of 0..n-1")
+    return ranks
 
 
 def le_lists_as_arrays(

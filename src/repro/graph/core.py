@@ -183,6 +183,11 @@ class Graph:
         If an extra edge duplicates an existing one (hop sets often shortcut
         an existing edge), the *minimum* weight is kept — the natural
         semantics for min-plus graphs.
+
+        The extra edges are validated here (endpoints in range, no
+        self-loops, finite positive weights): the combined graph is built
+        with ``validate=False`` for speed, so a buggy hop-set construction
+        must not be able to smuggle in zero/negative/``inf``/NaN weights.
         """
         extra_edges = np.asarray(extra_edges, dtype=np.int64).reshape(-1, 2)
         extra_weights = np.asarray(extra_weights, dtype=np.float64).reshape(-1)
@@ -190,8 +195,12 @@ class Graph:
             raise ValueError("edge/weight count mismatch in extra edges")
         if extra_edges.size == 0:
             return Graph(self.n, self.edges, self.weights, validate=False)
+        if extra_edges.min() < 0 or extra_edges.max() >= self.n:
+            raise ValueError("extra edge endpoint out of range")
         if np.any(extra_edges[:, 0] == extra_edges[:, 1]):
             raise ValueError("self-loops are not allowed in extra edges")
+        if np.any(~np.isfinite(extra_weights)) or np.any(extra_weights <= 0):
+            raise ValueError("extra edge weights must be finite and > 0")
         all_e = np.concatenate([self.edges, extra_edges], axis=0)
         all_w = np.concatenate([self.weights, extra_weights])
         # Canonicalize endpoint order and deduplicate to min weight.

@@ -27,7 +27,7 @@ Two engines are provided:
 from repro.mbf.algorithm import MBFAlgorithm
 from repro.mbf.engine import iterate, run, run_to_fixpoint
 from repro.mbf import filters, zoo
-from repro.mbf.dense import FlatStates
+from repro.mbf.dense import BatchedFlatStates, FlatStates
 
 __all__ = [
     "MBFAlgorithm",
@@ -37,4 +37,5 @@ __all__ = [
     "filters",
     "zoo",
     "FlatStates",
+    "BatchedFlatStates",
 ]

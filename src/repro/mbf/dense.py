@@ -21,6 +21,25 @@ for the equivalence with the reference engine):
   on canonical representations; used by APSP / MSSP),
 - ``("topk", k, dmax, source_mask)`` — source detection (Example 3.2),
 - ``("le", rank)`` — least-element lists (Definition 7.3).
+
+**Batched engine** (the ensemble hot path): :class:`BatchedFlatStates`
+extends the CSR layout with a *sample* axis — ``k`` independent state
+vectors over the same graph stored back to back, entries keyed by the
+composite segment id ``sample * n + target``.  The batched kernels
+(:func:`propagate_batched`, :func:`aggregate_batched`,
+:func:`dense_iteration_batched`, :func:`run_dense_batched`) advance all
+``k`` samples in one NumPy pass; :class:`BatchedLEFilter` carries one rank
+permutation per sample (a ``(k, n)`` matrix indexed per-entry through the
+composite segment id).  For LE lists the batched iteration additionally
+uses an *incremental* aggregation — propagated entries that are dominated
+by (or duplicates of) the target's current staircase can never survive the
+filter (the self-contribution puts their dominator in every merge), so
+they are pruned by a vectorized segmented binary search before the sort,
+and only the small survivor set is sorted and staircase-merged into the
+current lists.  The result is bit-identical to the serial engine (pinned
+by parity tests); the per-sample cost ledgers charge the *model* cost of
+Lemma 2.3 (propagate + sort + filter over all emitted entries), matching
+the serial driver charge for charge.
 """
 
 from __future__ import annotations
@@ -38,14 +57,23 @@ INF = math.inf
 
 __all__ = [
     "FlatStates",
+    "BatchedFlatStates",
     "FilterSpec",
     "MinFilter",
     "TopKFilter",
     "LEFilter",
+    "BatchedLEFilter",
     "propagate",
     "aggregate",
     "dense_iteration",
     "run_dense",
+    "propagate_batched",
+    "aggregate_batched",
+    "dense_iteration_batched",
+    "dense_iteration_batched_ex",
+    "take_active_samples",
+    "run_batched_fixpoint",
+    "run_dense_batched",
 ]
 
 
@@ -155,6 +183,141 @@ class FlatStates:
         )
 
 
+@dataclass
+class BatchedFlatStates:
+    """CSR-layout states of ``k`` independent samples over the same graph.
+
+    The sample axis is folded into the segment structure: segment
+    ``s * n + v`` holds sample ``s``'s state at node ``v`` (``offsets`` has
+    ``k * n + 1`` entries).  ``ids`` are *actual* vertex ids ``0..n-1`` —
+    propagation never crosses samples, so only targets need the composite
+    addressing.  Viewed through :meth:`as_flat`, the batch is an ordinary
+    :class:`FlatStates` over ``k * n`` virtual nodes, which lets the
+    batched kernels reuse the scalar ones.
+    """
+
+    k: int
+    n: int
+    offsets: np.ndarray  # (k*n+1,) int64
+    ids: np.ndarray  # (total,) int64, values in 0..n-1
+    dists: np.ndarray  # (total,) float64
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_sources(
+        cls, k: int, n: int, sources: Iterable[int] | None = None
+    ) -> "BatchedFlatStates":
+        """``k`` copies of the canonical initialization ``x^(0)``."""
+        if k < 1:
+            raise ValueError("batch size k must be >= 1")
+        one = FlatStates.from_sources(n, sources)
+        offsets = np.concatenate(
+            [[0], (one.offsets[1:] + one.total * np.arange(k)[:, None]).reshape(-1)]
+        )
+        return cls(
+            k,
+            n,
+            offsets.astype(np.int64),
+            np.tile(one.ids, k),
+            np.tile(one.dists, k),
+        )
+
+    @classmethod
+    def from_states(cls, states: Sequence[FlatStates]) -> "BatchedFlatStates":
+        """Stack per-sample states (all over the same ``n``) into a batch."""
+        if not states:
+            raise ValueError("need at least one sample")
+        n = states[0].n
+        if any(st.n != n for st in states):
+            raise ValueError("all samples must share the same node count")
+        counts = np.concatenate([st.counts() for st in states])
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return cls(
+            len(states),
+            n,
+            offsets.astype(np.int64),
+            np.concatenate([st.ids for st in states]),
+            np.concatenate([st.dists for st in states]),
+        )
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total stored entries across all samples and nodes."""
+        return int(self.ids.size)
+
+    def counts(self) -> np.ndarray:
+        """Per-(sample, node) entry counts, flat ``(k*n,)``."""
+        return np.diff(self.offsets)
+
+    def sample_totals(self) -> np.ndarray:
+        """Total entries per sample, ``(k,)``."""
+        bounds = self.offsets[:: self.n]
+        return np.diff(bounds)
+
+    def as_flat(self) -> FlatStates:
+        """Zero-copy view as one :class:`FlatStates` over ``k*n`` virtual nodes."""
+        return FlatStates(self.k * self.n, self.offsets, self.ids, self.dists)
+
+    def sample_states(self, s: int) -> FlatStates:
+        """Sample ``s``'s state vector as a standalone :class:`FlatStates`."""
+        lo, hi = self.offsets[s * self.n], self.offsets[(s + 1) * self.n]
+        return FlatStates(
+            self.n,
+            (self.offsets[s * self.n : (s + 1) * self.n + 1] - lo).copy(),
+            self.ids[lo:hi].copy(),
+            self.dists[lo:hi].copy(),
+        )
+
+    def to_states(self) -> list[FlatStates]:
+        """All samples as standalone :class:`FlatStates` (copies)."""
+        return [self.sample_states(s) for s in range(self.k)]
+
+    def take(self, sample_idx: np.ndarray) -> "BatchedFlatStates":
+        """Sub-batch of the given samples, in the given order."""
+        sample_idx = np.asarray(sample_idx, dtype=np.int64)
+        return BatchedFlatStates.from_states(
+            [self.sample_states(int(s)) for s in sample_idx]
+        )
+
+    def restrict(self, keep_mask: np.ndarray) -> "BatchedFlatStates":
+        """Projection ``P`` applied to every sample (Equation 5.2)."""
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != (self.n,):
+            raise ValueError("mask must have shape (n,)")
+        flat = self.as_flat().restrict(np.tile(keep_mask, self.k))
+        return BatchedFlatStates(self.k, self.n, flat.offsets, flat.ids, flat.dists)
+
+    def equals(self, other: "BatchedFlatStates") -> bool:
+        """Exact equality of the whole batch."""
+        return (
+            self.k == other.k
+            and self.n == other.n
+            and np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.ids, other.ids)
+            and np.array_equal(self.dists, other.dists)
+        )
+
+    def sample_equal(self, other: "BatchedFlatStates") -> np.ndarray:
+        """Per-sample exact equality, ``(k,)`` bool."""
+        if self.k != other.k or self.n != other.n:
+            raise ValueError("batch shape mismatch")
+        k, n = self.k, self.n
+        eq = (
+            (self.counts().reshape(k, n) == other.counts().reshape(k, n))
+            .all(axis=1)
+        )
+        for s in np.flatnonzero(eq):
+            lo_a, hi_a = self.offsets[s * n], self.offsets[(s + 1) * n]
+            lo_b, hi_b = other.offsets[s * n], other.offsets[(s + 1) * n]
+            eq[s] = np.array_equal(
+                self.ids[lo_a:hi_a], other.ids[lo_b:hi_b]
+            ) and np.array_equal(self.dists[lo_a:hi_a], other.dists[lo_b:hi_b])
+        return eq
+
+
 # ---------------------------------------------------------------------------
 # Filters
 # ---------------------------------------------------------------------------
@@ -168,8 +331,15 @@ class FilterSpec:
     entries and their segment structure, which survive).
     """
 
-    def sort_keys(self, ids: np.ndarray, dists: np.ndarray) -> tuple:
-        """Keys sorted *before* the target key in ``np.lexsort`` order."""
+    def sort_keys(
+        self, ids: np.ndarray, dists: np.ndarray, tgt: np.ndarray
+    ) -> tuple:
+        """Keys sorted *before* the target key in ``np.lexsort`` order.
+
+        ``tgt`` carries the (possibly composite ``sample * n + target``)
+        segment key of each entry — sample-aware filters derive the sample
+        from it; sample-oblivious filters ignore it.
+        """
         raise NotImplementedError
 
     def keep_mask(
@@ -183,6 +353,14 @@ class FilterSpec:
         """Boolean survival mask over the (sorted) entries."""
         raise NotImplementedError
 
+    def take(self, sample_idx: np.ndarray) -> "FilterSpec":
+        """The filter for a sub-batch of samples (batched drivers only).
+
+        Sample-oblivious filters apply identically to every sample and
+        return ``self``; per-sample filters re-slice their state.
+        """
+        return self
+
 
 class MinFilter(FilterSpec):
     """Keep the minimum distance per (target, id): the canonical identity.
@@ -191,7 +369,9 @@ class MinFilter(FilterSpec):
     beyond duplicate/dominated copies of the same key.
     """
 
-    def sort_keys(self, ids: np.ndarray, dists: np.ndarray) -> tuple:
+    def sort_keys(
+        self, ids: np.ndarray, dists: np.ndarray, tgt: np.ndarray
+    ) -> tuple:
         # lexsort uses the *last* key as primary; caller appends targets.
         return (dists, ids)
 
@@ -207,9 +387,9 @@ class TopKFilter(FilterSpec):
     """Source detection (Example 3.2): k smallest ``(dist, id)`` pairs.
 
     ``source_mask[v]`` marks allowed sources; ``dmax`` is the distance cap.
-    Entries are first deduplicated per (target, id) to their min distance
-    (handled by sorting by (id-major? no — dist-major) — see note), then
-    the first ``k`` per target survive.
+    Entries are sorted dist-major within a target (``(target, dist, id)``),
+    deduplicated per (target, id) to their minimum distance, and the first
+    ``k`` survivors per target are kept.
 
     Note: with entries sorted by ``(target, dist, id)``, duplicates of an id
     within a target are *not* adjacent; we remove them with an auxiliary
@@ -223,7 +403,9 @@ class TopKFilter(FilterSpec):
         self.dmax = float(dmax)
         self.source_mask = source_mask
 
-    def sort_keys(self, ids: np.ndarray, dists: np.ndarray) -> tuple:
+    def sort_keys(
+        self, ids: np.ndarray, dists: np.ndarray, tgt: np.ndarray
+    ) -> tuple:
         return (ids, dists)
 
     def keep_mask(self, tgt, ids, dists, seg_id, n) -> np.ndarray:
@@ -269,7 +451,9 @@ class LEFilter(FilterSpec):
     def __init__(self, rank: np.ndarray):
         self.rank = np.asarray(rank, dtype=np.int64)
 
-    def sort_keys(self, ids: np.ndarray, dists: np.ndarray) -> tuple:
+    def sort_keys(
+        self, ids: np.ndarray, dists: np.ndarray, tgt: np.ndarray
+    ) -> tuple:
         return (self.rank[ids], dists)
 
     def keep_mask(self, tgt, ids, dists, seg_id, n) -> np.ndarray:
@@ -282,6 +466,48 @@ class LEFilter(FilterSpec):
         keep = np.ones(tgt.size, dtype=bool)
         keep[1:] = adjusted[1:] < run_min[:-1]
         return keep
+
+
+class BatchedLEFilter(FilterSpec):
+    """Per-sample least-element filters over composite segment ids.
+
+    ``ranks`` is a ``(k, n)`` matrix — one random total order per ensemble
+    sample.  An entry addressed to the composite target ``s * n + v`` is
+    keyed by ``ranks[s, id]``; deriving ``s`` from the target is what lets
+    one global sort aggregate all ``k`` samples at once.  The staircase
+    survival rule is :class:`LEFilter`'s, applied per composite segment.
+    """
+
+    def __init__(self, ranks: np.ndarray):
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.ndim != 2:
+            raise ValueError("ranks must be a (k, n) matrix")
+        self.ranks = ranks
+        self.k, self.n = ranks.shape
+        self._flat = np.ascontiguousarray(ranks).reshape(-1)
+
+    def entry_ranks(self, tgt: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Per-entry rank under the entry's *own sample's* order."""
+        return self._flat[(tgt // self.n) * self.n + ids]
+
+    def sort_keys(
+        self, ids: np.ndarray, dists: np.ndarray, tgt: np.ndarray
+    ) -> tuple:
+        return (self.entry_ranks(tgt, ids), dists)
+
+    def keep_mask(self, tgt, ids, dists, seg_id, n) -> np.ndarray:
+        if tgt.size == 0:
+            return np.zeros(0, dtype=bool)
+        adjusted = self.entry_ranks(tgt, ids) - seg_id.astype(np.int64) * (
+            self.n + 1
+        )
+        run_min = np.minimum.accumulate(adjusted)
+        keep = np.ones(tgt.size, dtype=bool)
+        keep[1:] = adjusted[1:] < run_min[:-1]
+        return keep
+
+    def take(self, sample_idx: np.ndarray) -> "BatchedLEFilter":
+        return BatchedLEFilter(self.ranks[np.asarray(sample_idx, dtype=np.int64)])
 
 
 # ---------------------------------------------------------------------------
@@ -343,7 +569,7 @@ def aggregate(
     E = int(tgt.size)
     if E == 0:
         return FlatStates(n, np.zeros(n + 1, dtype=np.int64), ids[:0], dists[:0])
-    keys = spec.sort_keys(ids, dists)
+    keys = spec.sort_keys(ids, dists, tgt)
     order = np.lexsort(keys + (tgt,))
     tgt_s, ids_s, dists_s = tgt[order], ids[order], dists[order]
     seg_start = np.ones(E, dtype=bool)
@@ -389,13 +615,17 @@ def run_dense(
     sources: Iterable[int] | None = None,
     h: int | None = None,
     x0: FlatStates | None = None,
+    max_iterations: int | None = None,
     ledger: CostLedger = NULL_LEDGER,
 ) -> tuple[FlatStates, int]:
     """Run the dense engine for ``h`` iterations or to the fixpoint.
 
     Returns ``(states, iterations)``.  With ``h=None``, iterates until the
     filtered state vector stabilizes (at most ``SPD(G) + 1`` iterations per
-    Definition 2.11; hard cap ``n + 1``).
+    Definition 2.11), performing at most ``max_iterations`` iterations
+    (default ``n + 1``) — the same cap semantics as
+    :func:`repro.mbf.engine.run_to_fixpoint` and
+    :meth:`repro.oracle.HOracle.run`.
     """
     states = x0 if x0 is not None else FlatStates.from_sources(G.n, sources)
     # Canonicalize the initial vector through the filter (r^V x^(0)).
@@ -411,9 +641,485 @@ def run_dense(
         for _ in range(h):
             states = dense_iteration(G, states, spec, ledger=ledger)
         return states, h
-    for i in range(G.n + 1):
+    cap = (G.n + 1) if max_iterations is None else max_iterations
+    if cap < 1:
+        raise ValueError("max_iterations must be >= 1")
+    for i in range(cap):
         nxt = dense_iteration(G, states, spec, ledger=ledger)
         if nxt.equals(states):
             return states, i
         states = nxt
-    raise RuntimeError("no fixpoint within n+1 iterations")
+    raise RuntimeError(f"no fixpoint within {cap} iterations")
+
+
+# ---------------------------------------------------------------------------
+# Batched iteration kernels (the ensemble hot path)
+# ---------------------------------------------------------------------------
+
+
+def _virtual_edges(
+    k: int, n: int, src: np.ndarray, dst: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Replicate the directed edge set across ``k`` virtual node blocks."""
+    base = (np.arange(k, dtype=np.int64) * n)[:, None]
+    vsrc = (base + src[None, :]).reshape(-1)
+    vdst = (base + dst[None, :]).reshape(-1)
+    vw = np.broadcast_to(w, (k, w.size)).reshape(-1).copy()
+    return vsrc, vdst, vw
+
+
+def _stable_lexsort(keys: tuple) -> np.ndarray:
+    """``np.lexsort`` semantics via composed stable argsorts.
+
+    Identical permutation (stable lexicographic order is unique); integer
+    keys get NumPy's radix path, which is what makes the batched global
+    sort competitive with many small per-sample sorts.
+    """
+    order: np.ndarray | None = None
+    for key in keys:
+        key = np.asarray(key)
+        sub = key if order is None else key[order]
+        o = np.argsort(sub, kind="stable")
+        order = o if order is None else order[o]
+    assert order is not None
+    return order
+
+
+def _charge_sample_iteration(
+    ledgers: Sequence[CostLedger] | None, emitted: np.ndarray
+) -> None:
+    """Charge the Lemma 2.3 model cost of one iteration to each sample.
+
+    Mirrors the serial kernels exactly: ``emitted[s]`` parallel work for
+    propagation, an ``emitted[s]``-key sort plus an ``emitted[s]``-item
+    filter scan for aggregation; samples that emitted nothing (empty
+    states) are charged nothing, as in the serial early-return.
+    """
+    if ledgers is None:
+        return
+    for led, e in zip(ledgers, emitted):
+        e = int(e)
+        if e == 0:
+            continue
+        led.parallel_for(e, 1, 1, label="propagate")
+        led.sort(e, label="aggregate-sort")
+        led.parallel_for(e, 1, 1, label="filter")
+
+
+def propagate_batched(
+    states: BatchedFlatStates,
+    src: np.ndarray,
+    dst: np.ndarray,
+    w: np.ndarray,
+    *,
+    include_self: bool = True,
+    ledgers: Sequence[CostLedger] | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :func:`propagate`: targets are composite ``sample*n + v``.
+
+    Entry ids remain actual vertex ids; per-sample model costs are charged
+    to ``ledgers`` (one per sample) when given.
+    """
+    k, n = states.k, states.n
+    vsrc, vdst, vw = _virtual_edges(k, n, src, dst, w)
+    vtgt, ids, dists = propagate(
+        states.as_flat(), vsrc, vdst, vw, include_self=include_self
+    )
+    if ledgers is not None:
+        per = np.bincount(vtgt // n, minlength=k)
+        for led, e in zip(ledgers, per):
+            led.parallel_for(int(e), 1, 1, label="propagate")
+    return vtgt, ids, dists
+
+
+def aggregate_batched(
+    k: int,
+    n: int,
+    vtgt: np.ndarray,
+    ids: np.ndarray,
+    dists: np.ndarray,
+    spec: FilterSpec,
+    *,
+    ledgers: Sequence[CostLedger] | None = None,
+) -> BatchedFlatStates:
+    """Batched :func:`aggregate`: one global stable sort over all samples.
+
+    The composite target ``sample * n + v`` is the primary sort key, so
+    one pass groups every sample's every node; sample-aware filters
+    (:class:`BatchedLEFilter`) recover the sample from the composite id.
+    Per-sample results are bit-identical to ``k`` serial aggregations.
+    """
+    kn = k * n
+    E = int(vtgt.size)
+    if ledgers is not None and E:
+        per = np.bincount(vtgt // n, minlength=k)
+        for led, e in zip(ledgers, per):
+            e = int(e)
+            if e:
+                led.sort(e, label="aggregate-sort")
+                led.parallel_for(e, 1, 1, label="filter")
+    if E == 0:
+        return BatchedFlatStates(
+            k, n, np.zeros(kn + 1, dtype=np.int64), ids[:0], dists[:0]
+        )
+    keys = spec.sort_keys(ids, dists, vtgt)
+    order = _stable_lexsort(keys + (vtgt,))
+    tgt_s, ids_s, dists_s = vtgt[order], ids[order], dists[order]
+    seg_start = np.ones(E, dtype=bool)
+    seg_start[1:] = tgt_s[1:] != tgt_s[:-1]
+    seg_id = np.cumsum(seg_start) - 1
+    keep = spec.keep_mask(tgt_s, ids_s, dists_s, seg_id, kn)
+    kept_tgt = tgt_s[keep]
+    counts = np.bincount(kept_tgt, minlength=kn)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    return BatchedFlatStates(k, n, offsets, ids_s[keep], dists_s[keep])
+
+
+def _segment_search(
+    offsets: np.ndarray,
+    seg_dists: np.ndarray,
+    tgt: np.ndarray,
+    d: np.ndarray,
+    *,
+    strict: bool,
+) -> np.ndarray:
+    """Vectorized per-segment binary search.
+
+    Returns, per query, ``offsets[tgt] + #{entries in segment tgt with
+    dist < d}`` (``strict=True``) or ``... <= d`` (``strict=False``) —
+    the segmented equivalent of :func:`np.searchsorted` left/right.
+    """
+    lo = offsets[tgt].copy()
+    hi = offsets[tgt + 1].copy()
+    if seg_dists.size == 0 or lo.size == 0:
+        return lo
+    limit = seg_dists.size - 1
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) >> 1
+        mv = seg_dists[np.minimum(mid, limit)]
+        go = np.zeros(lo.size, dtype=bool)
+        if strict:
+            go[active] = mv[active] < d[active]
+        else:
+            go[active] = mv[active] <= d[active]
+        lo = np.where(go, mid + 1, lo)
+        hi = np.where(go | ~active, hi, mid)
+    return lo
+
+
+def _le_iteration_incremental(
+    G: Graph,
+    states: BatchedFlatStates,
+    spec: BatchedLEFilter,
+    *,
+    weight_scale: float = 1.0,
+    ledgers: Sequence[CostLedger] | None = None,
+) -> tuple[BatchedFlatStates, np.ndarray]:
+    """One batched LE iteration via prune + staircase merge.
+
+    Exactness argument: with ``include_self`` the target's current list is
+    part of every merge, so a propagated entry that some current entry
+    ``(d', r')`` dominates (``d' <= d`` and ``r' <= r``; equality of rank
+    means the identical vertex) can never survive the staircase — the
+    dominator precedes it in ``(dist, rank)`` order and pins the running
+    minimum below its rank.  Pruning those entries first (a segmented
+    binary search against the current staircase) and sorting only the
+    survivors yields the same survivors in the same order as the full
+    sort, bit for bit.  Returns ``(next_states, changed)`` where
+    ``changed[s]`` says sample ``s``'s state moved (``False`` == fixpoint
+    reached, detected for free: nothing was inserted and nothing dropped).
+    """
+    k, n = states.k, states.n
+    kn = k * n
+    src, dst, w = G.directed_edges()
+    if weight_scale != 1.0:
+        w = w * weight_scale
+    # Rebuilt per call; measured ~2% of an iteration, and any cross-call
+    # cache would need invalidation on every active-set compaction.
+    vsrc, vdst, vw = _virtual_edges(k, n, src, dst, w)
+    cur = states.as_flat()
+    vtgt, ids, dists = propagate(cur, vsrc, vdst, vw, include_self=False)
+    # Model cost: the serial engine emits the self entries too and sorts
+    # the full emission; charge that canonical amount per sample.
+    emitted = np.bincount(vtgt // n, minlength=k) + states.sample_totals()
+    _charge_sample_iteration(ledgers, emitted)
+    ccounts = np.diff(cur.offsets)
+    cur_own = np.repeat(np.arange(kn, dtype=np.int64), ccounts)
+    cur_rank = spec.entry_ranks(cur_own, cur.ids)
+    # -- prune: dominated-or-duplicate against the current staircase -------
+    er = spec.entry_ranks(vtgt, ids)
+    upper = _segment_search(cur.offsets, cur.dists, vtgt, dists, strict=False)
+    has_pred = upper > cur.offsets[vtgt]
+    pred_rank = cur_rank[np.maximum(upper - 1, 0)] if cur.total else er
+    survives = ~(has_pred & (pred_rank <= er))
+    bt, bi, bd, br = vtgt[survives], ids[survives], dists[survives], er[survives]
+    changed = np.zeros(k, dtype=bool)
+    if bt.size == 0:
+        return states, changed
+    # -- sort the (small) survivor set by (segment, dist, rank) ------------
+    order = _stable_lexsort((br, bd, bt))
+    bt, bi, bd, br = bt[order], bi[order], bd[order], br[order]
+    # -- merge into the current staircases ---------------------------------
+    bcounts = np.bincount(bt, minlength=kn)
+    boffsets = np.concatenate([[0], np.cumsum(bcounts)])
+    within_b = np.arange(bt.size) - boffsets[bt]
+    # Survivors precede equal-dist current entries (their rank is strictly
+    # smaller — otherwise the prune would have caught them), so their
+    # insertion point counts current entries with *strictly* smaller dist.
+    ins = _segment_search(cur.offsets, cur.dists, bt, bd, strict=True)
+    loc = ins - cur.offsets[bt]
+    mcounts = ccounts + bcounts
+    moffsets = np.concatenate([[0], np.cumsum(mcounts)])
+    total = int(moffsets[-1])
+    bpos = moffsets[bt] + loc + within_b
+    m_ids = np.empty(total, dtype=np.int64)
+    m_dists = np.empty(total, dtype=np.float64)
+    m_rank = np.empty(total, dtype=np.int64)
+    occupied = np.zeros(total, dtype=bool)
+    occupied[bpos] = True
+    cpos = np.flatnonzero(~occupied)
+    m_ids[bpos], m_dists[bpos], m_rank[bpos] = bi, bd, br
+    m_ids[cpos], m_dists[cpos], m_rank[cpos] = cur.ids, cur.dists, cur_rank
+    # -- staircase over the merged lists -----------------------------------
+    m_tgt = np.repeat(np.arange(kn, dtype=np.int64), mcounts)
+    seg_start = np.ones(total, dtype=bool)
+    seg_start[1:] = m_tgt[1:] != m_tgt[:-1]
+    seg_id = np.cumsum(seg_start) - 1
+    adjusted = m_rank - seg_id * (n + 1)
+    run_min = np.minimum.accumulate(adjusted)
+    keep = np.ones(total, dtype=bool)
+    keep[1:] = adjusted[1:] < run_min[:-1]
+    # -- per-sample fixpoint detection, for free ---------------------------
+    b_kept = keep[bpos]
+    c_dropped = ~keep[cpos]
+    changed = (
+        np.bincount(bt[b_kept] // n, minlength=k)
+        + np.bincount(cur_own[c_dropped] // n, minlength=k)
+    ) > 0
+    ncounts = np.bincount(m_tgt[keep], minlength=kn)
+    noffsets = np.concatenate([[0], np.cumsum(ncounts)])
+    nxt = BatchedFlatStates(k, n, noffsets, m_ids[keep], m_dists[keep])
+    return nxt, changed
+
+
+def _check_batch_filter(spec: FilterSpec, states: BatchedFlatStates) -> bool:
+    """Whether ``spec`` takes the incremental LE path (validating shape)."""
+    if not isinstance(spec, BatchedLEFilter):
+        return False
+    if spec.k != states.k or spec.n != states.n:
+        raise ValueError(
+            f"filter batch shape ({spec.k}, {spec.n}) does not match "
+            f"states ({states.k}, {states.n})"
+        )
+    return True
+
+
+def _generic_iteration_batched(
+    G: Graph,
+    states: BatchedFlatStates,
+    spec: FilterSpec,
+    weight_scale: float,
+    ledgers: Sequence[CostLedger] | None,
+) -> BatchedFlatStates:
+    """The generic (sample-oblivious filter) batched iteration body."""
+    src, dst, w = G.directed_edges()
+    if weight_scale != 1.0:
+        w = w * weight_scale
+    vtgt, ids, dists = propagate_batched(
+        states, src, dst, w, include_self=True, ledgers=ledgers
+    )
+    return aggregate_batched(
+        states.k, states.n, vtgt, ids, dists, spec, ledgers=ledgers
+    )
+
+
+def dense_iteration_batched_ex(
+    G: Graph,
+    states: BatchedFlatStates,
+    spec: FilterSpec,
+    *,
+    weight_scale: float = 1.0,
+    ledgers: Sequence[CostLedger] | None = None,
+) -> tuple[BatchedFlatStates, np.ndarray]:
+    """One batched iteration, plus a ``(k,)`` per-sample ``changed`` flag.
+
+    This is the contract batched fixpoint drivers (here and in
+    :meth:`repro.oracle.HOracle.h_iteration_batched`) build on — the
+    incremental LE path derives the flags for free, so drivers should use
+    them instead of re-comparing states.  Use
+    :func:`dense_iteration_batched` when the flags are not needed: the
+    generic path here pays a state-sized comparison for them.
+    """
+    if _check_batch_filter(spec, states):
+        return _le_iteration_incremental(
+            G, states, spec, weight_scale=weight_scale, ledgers=ledgers
+        )
+    nxt = _generic_iteration_batched(G, states, spec, weight_scale, ledgers)
+    return nxt, ~states.sample_equal(nxt)
+
+
+def dense_iteration_batched(
+    G: Graph,
+    states: BatchedFlatStates,
+    spec: FilterSpec,
+    *,
+    weight_scale: float = 1.0,
+    ledgers: Sequence[CostLedger] | None = None,
+) -> BatchedFlatStates:
+    """Batched :func:`dense_iteration`: ``r^V A x`` for all ``k`` samples.
+
+    For :class:`BatchedLEFilter` the incremental prune/merge path runs;
+    any other :class:`FilterSpec` (e.g. :class:`MinFilter`) goes through
+    the generic one-global-sort path.  Either way each sample's result is
+    bit-identical to a serial :func:`dense_iteration` on that sample.
+    """
+    if _check_batch_filter(spec, states):
+        return _le_iteration_incremental(
+            G, states, spec, weight_scale=weight_scale, ledgers=ledgers
+        )[0]
+    return _generic_iteration_batched(G, states, spec, weight_scale, ledgers)
+
+
+def take_active_samples(
+    keep: np.ndarray,
+    states: BatchedFlatStates,
+    spec: FilterSpec,
+    ledgers: Sequence[CostLedger] | None,
+) -> tuple[BatchedFlatStates, FilterSpec, list[CostLedger] | None]:
+    """Re-slice a batch triple to the still-active sample positions.
+
+    The per-sample fixpoint-masking drivers (``run_dense_batched``,
+    ``HOracle.run_batch``, the oracle's inner early-exit chains) all
+    compact the batch the same way — states, filter, and per-sample
+    ledgers must shrink in lockstep or samples silently swap ledgers.
+    """
+    return (
+        states.take(keep),
+        spec.take(keep),
+        None if ledgers is None else [ledgers[int(p)] for p in keep],
+    )
+
+
+def run_batched_fixpoint(
+    step,
+    states: BatchedFlatStates,
+    spec: FilterSpec,
+    ledgers: Sequence[CostLedger] | None,
+    cap: int,
+    *,
+    freeze_next: bool = False,
+    error: str | None = None,
+) -> tuple[BatchedFlatStates, np.ndarray]:
+    """Iterate ``step`` with per-sample convergence masking.
+
+    The one masked-fixpoint loop shared by every batched driver
+    (:func:`run_dense_batched`, ``HOracle.run_batch``, and the oracle's
+    inner early-exit chains).  ``step(states, spec, ledgers)`` advances
+    the whole batch and returns ``(next, changed)`` where ``changed`` may
+    be ``None`` (the loop then compares states itself).  Samples whose
+    ``changed`` flag clears are frozen — their pre-step state
+    (``freeze_next=False``, the serial "return the state the confirming
+    iteration reproduced" convention) or post-step state
+    (``freeze_next=True``, the serial inner-chain ``y = nxt; break``
+    convention; bitwise equal either way) — and masked out of further
+    steps, so their ledgers stop accruing.
+
+    Returns ``(final, iterations)`` over all samples in original order.
+    With ``error`` set, samples still unconverged after ``cap`` steps
+    raise ``RuntimeError(error)``; with ``error=None`` they keep their
+    last state and report ``iterations = cap``.
+    """
+    k = states.k
+    iters = np.zeros(k, dtype=np.int64)
+    done: list[FlatStates | None] = [None] * k
+    active = np.arange(k)
+    cur, cur_spec, cur_ledgers = states, spec, ledgers
+    for i in range(cap):
+        nxt, changed = step(cur, cur_spec, cur_ledgers)
+        if changed is None:
+            changed = ~cur.sample_equal(nxt)
+        if changed.all():
+            cur = nxt
+            continue
+        frozen_src = nxt if freeze_next else cur
+        for pos in np.flatnonzero(~changed):
+            s = int(active[pos])
+            done[s] = frozen_src.sample_states(int(pos))
+            iters[s] = i
+        keep = np.flatnonzero(changed)
+        if keep.size == 0:
+            active = active[:0]
+            break
+        active = active[keep]
+        cur, cur_spec, cur_ledgers = take_active_samples(
+            keep, nxt, cur_spec, cur_ledgers
+        )
+    if active.size:
+        if error is not None:
+            raise RuntimeError(error)
+        for pos, s in enumerate(active):
+            done[int(s)] = cur.sample_states(pos)
+            iters[int(s)] = cap
+    return BatchedFlatStates.from_states([st for st in done if st is not None]), iters
+
+
+def run_dense_batched(
+    G: Graph,
+    spec: FilterSpec,
+    k: int,
+    *,
+    sources: Iterable[int] | None = None,
+    h: int | None = None,
+    x0: BatchedFlatStates | None = None,
+    max_iterations: int | None = None,
+    ledgers: Sequence[CostLedger] | None = None,
+) -> tuple[BatchedFlatStates, np.ndarray]:
+    """Batched :func:`run_dense`: ``k`` samples to their own fixpoints.
+
+    Fixpoints are detected per sample; converged samples are masked out of
+    subsequent iterations (their ledgers stop accruing, exactly like the
+    serial loop that stops after confirming the fixpoint).  Returns
+    ``(states, iterations)`` with one iteration count per sample;
+    ``ledgers``, when given, must hold one :class:`CostLedger` per sample
+    and each receives charges identical to a serial :func:`run_dense` of
+    that sample.
+    """
+    n = G.n
+    if isinstance(spec, BatchedLEFilter) and (spec.k != k or spec.n != n):
+        raise ValueError(
+            f"filter batch shape ({spec.k}, {spec.n}) does not match (k={k}, n={n})"
+        )
+    ledger_list = list(ledgers) if ledgers is not None else None
+    if ledger_list is not None and len(ledger_list) != k:
+        raise ValueError(f"need one ledger per sample ({k}), got {len(ledger_list)}")
+    states = x0 if x0 is not None else BatchedFlatStates.from_sources(k, n, sources)
+    if states.k != k or states.n != n:
+        raise ValueError("x0 batch shape mismatch")
+    # Canonicalize the initial vector through the filter (r^V x^(0)).
+    states = aggregate_batched(
+        k,
+        n,
+        np.repeat(np.arange(k * n, dtype=np.int64), states.counts()),
+        states.ids,
+        states.dists,
+        spec,
+        ledgers=ledger_list,
+    )
+    if h is not None:
+        for _ in range(h):
+            states = dense_iteration_batched(G, states, spec, ledgers=ledger_list)
+        return states, np.full(k, h, dtype=np.int64)
+    cap = (n + 1) if max_iterations is None else max_iterations
+    if cap < 1:
+        raise ValueError("max_iterations must be >= 1")
+    return run_batched_fixpoint(
+        lambda s, sp, led: dense_iteration_batched_ex(G, s, sp, ledgers=led),
+        states,
+        spec,
+        ledger_list,
+        cap,
+        error=f"no fixpoint within {cap} iterations",
+    )

@@ -24,13 +24,23 @@ min-plus SLF to its own fixpoint changes nothing, so the remaining
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.graph.core import Graph
 from repro.hopsets.base import HopSetResult
-from repro.mbf.dense import FilterSpec, FlatStates, aggregate, dense_iteration
+from repro.mbf.dense import (
+    BatchedFlatStates,
+    FilterSpec,
+    FlatStates,
+    aggregate,
+    aggregate_batched,
+    dense_iteration,
+    dense_iteration_batched,
+    dense_iteration_batched_ex,
+    run_batched_fixpoint,
+)
 from repro.pram.cost import NULL_LEDGER, CostLedger
 from repro.simulated.levels import level_masks, sample_levels
 from repro.util.rng import as_rng
@@ -140,6 +150,83 @@ class HOracle:
             ledger=ledger,
         )
 
+    def h_iteration_batched(
+        self,
+        states: BatchedFlatStates,
+        spec: FilterSpec,
+        *,
+        ledgers: Sequence[CostLedger] | None = None,
+    ) -> BatchedFlatStates:
+        """One ``A_H`` iteration for all ``k`` samples at once.
+
+        Each level's ``d``-chain runs through the batched dense kernels;
+        with ``inner_early_exit`` samples whose chain reached its fixpoint
+        are masked out of the remaining inner iterations individually (the
+        lossless per-sample analogue of the serial early exit).  Per-sample
+        ledgers receive charges identical to ``k`` serial
+        :meth:`h_iteration` calls; the batch does not update
+        :attr:`inner_iterations_used` (a per-serial-run statistic).
+        """
+        k, n = states.k, states.n
+        ledger_list = (
+            list(ledgers) if ledgers is not None else [NULL_LEDGER] * k
+        )
+        if len(ledger_list) != k:
+            raise ValueError(f"need one ledger per sample ({k})")
+        parts_tgt: list[np.ndarray] = []
+        parts_ids: list[np.ndarray] = []
+        parts_dists: list[np.ndarray] = []
+        children: list[list[CostLedger]] = [[] for _ in range(k)]
+        for lam in range(self.Lambda + 1):
+            level_children = [led.fork() for led in ledger_list]
+            for s in range(k):
+                children[s].append(level_children[s])
+            scale = self.penalty_base ** (self.Lambda - lam)
+            y = states.restrict(self.masks[lam])
+            for child, t in zip(level_children, states.sample_totals()):
+                child.parallel_for(int(t), 1, 1, label=f"P_{lam}")
+            if self.inner_early_exit:
+                # Per-sample analogue of the serial ``y = nxt; break``:
+                # converged chains freeze on the post-step state; chains
+                # that never converge keep their state after ``d`` steps.
+                y, _ = run_batched_fixpoint(
+                    lambda s, sp, led: dense_iteration_batched_ex(
+                        self.graph, s, sp, weight_scale=scale, ledgers=led
+                    ),
+                    y,
+                    spec,
+                    level_children,
+                    self.d,
+                    freeze_next=True,
+                )
+            else:
+                for _ in range(self.d):
+                    y = dense_iteration_batched(
+                        self.graph,
+                        y,
+                        spec,
+                        weight_scale=scale,
+                        ledgers=level_children,
+                    )
+            y = y.restrict(self.masks[lam])
+            for child, t in zip(level_children, y.sample_totals()):
+                child.parallel_for(int(t), 1, 1, label=f"P_{lam}'")
+            owner = np.repeat(np.arange(k * n, dtype=np.int64), y.counts())
+            parts_tgt.append(owner)
+            parts_ids.append(y.ids)
+            parts_dists.append(y.dists)
+        for led, ch in zip(ledger_list, children):
+            led.join(*ch, label="levels")
+        return aggregate_batched(
+            k,
+            n,
+            np.concatenate(parts_tgt),
+            np.concatenate(parts_ids),
+            np.concatenate(parts_dists),
+            spec,
+            ledgers=ledger_list,
+        )
+
     # -- full queries ----------------------------------------------------------
 
     def run(
@@ -182,3 +269,61 @@ class HOracle:
                 return states, i
             states = nxt
         raise RuntimeError(f"H-iteration did not reach a fixpoint within {cap} steps")
+
+    def run_batch(
+        self,
+        spec: FilterSpec,
+        k: int,
+        *,
+        sources: Iterable[int] | None = None,
+        x0: BatchedFlatStates | None = None,
+        h: int | None = None,
+        max_iterations: int | None = None,
+        ledgers: Sequence[CostLedger] | None = None,
+    ) -> tuple[BatchedFlatStates, np.ndarray]:
+        """Batched :meth:`run`: ``k`` MBF-like queries on ``H`` in one pass.
+
+        Fixpoints are detected per sample and converged samples are masked
+        out of subsequent H-iterations, so each sample's result, iteration
+        count, and (optional per-sample) ledger charges are bit-identical
+        to a serial :meth:`run` with the same filter.  Returns
+        ``(states, iterations)`` with one count per sample.
+        """
+        n = self.n
+        ledger_list = list(ledgers) if ledgers is not None else None
+        if ledger_list is not None and len(ledger_list) != k:
+            raise ValueError(
+                f"need one ledger per sample ({k}), got {len(ledger_list)}"
+            )
+        states = (
+            x0 if x0 is not None else BatchedFlatStates.from_sources(k, n, sources)
+        )
+        if states.k != k or states.n != n:
+            raise ValueError("x0 batch shape mismatch")
+        states = aggregate_batched(
+            k,
+            n,
+            np.repeat(np.arange(k * n, dtype=np.int64), states.counts()),
+            states.ids,
+            states.dists,
+            spec,
+            ledgers=ledger_list,
+        )
+        if h is not None:
+            for _ in range(h):
+                states = self.h_iteration_batched(states, spec, ledgers=ledger_list)
+            return states, np.full(k, h, dtype=np.int64)
+        cap = (n + 1) if max_iterations is None else max_iterations
+        if cap < 1:
+            raise ValueError("max_iterations must be >= 1")
+        return run_batched_fixpoint(
+            lambda s, sp, led: (
+                self.h_iteration_batched(s, sp, ledgers=led),
+                None,  # no free flags here; the loop compares states
+            ),
+            states,
+            spec,
+            ledger_list,
+            cap,
+            error=f"H-iteration did not reach a fixpoint within {cap} steps",
+        )

@@ -126,3 +126,19 @@ class TestRoundTrip:
     def test_from_dict_validates_values(self):
         with pytest.raises(ValueError):
             PipelineConfig.from_dict({"hopset": {"eps": -1.0}})
+
+
+class TestEnsembleMode:
+    def test_default_serial(self):
+        assert EmbeddingConfig().ensemble_mode == "serial"
+
+    def test_batched_accepted(self):
+        assert EmbeddingConfig(ensemble_mode="batched").ensemble_mode == "batched"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="ensemble_mode"):
+            EmbeddingConfig(ensemble_mode="parallel")
+
+    def test_round_trips(self):
+        cfg = EmbeddingConfig(method="direct", ensemble_mode="batched")
+        assert EmbeddingConfig.from_dict(cfg.to_dict()) == cfg

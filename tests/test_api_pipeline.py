@@ -346,3 +346,123 @@ class TestValidationAndBackends:
         ledger = CostLedger()
         Pipeline(g, PipelineConfig(seed=5)).sample(ledger=ledger)
         assert ledger.work > 0 and ledger.depth > 0
+
+
+class TestBatchedEnsemble:
+    """mode="batched" fuses the k LE-list computations into one
+    multi-sample pass; the contract is bit-identical output vs the serial
+    loop — same trees, same per-sample LE lists, same iteration counts,
+    same per-sample ledger charges."""
+
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_oracle_path_parity(self, k):
+        g = gen.cycle(24, wmin=1, wmax=2, rng=5)
+        cfg = PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=4))
+        serial = Pipeline(g, cfg).sample_ensemble(k=k, seed=0, mode="serial")
+        batched = Pipeline(g, cfg).sample_ensemble(k=k, seed=0, mode="batched")
+        for a, b in zip(serial, batched):
+            _assert_same_embedding(a, b)
+
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_direct_dense_path_parity(self, k):
+        g = gen.random_graph(30, 70, rng=6)
+        cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+        serial = Pipeline(g, cfg).sample_ensemble(k=k, seed=1, mode="serial")
+        batched = Pipeline(g, cfg).sample_ensemble(k=k, seed=1, mode="batched")
+        for a, b in zip(serial, batched):
+            _assert_same_embedding(a, b)
+
+    def test_ledger_work_totals_match_serial(self):
+        g = gen.cycle(20, rng=7)
+        for cfg in (
+            PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=4)),
+            PipelineConfig(embedding=EmbeddingConfig(method="direct")),
+        ):
+            serial = Pipeline(g, cfg).sample_ensemble(k=3, seed=2, mode="serial")
+            batched = Pipeline(g, cfg).sample_ensemble(k=3, seed=2, mode="batched")
+            assert [led.work for led in batched.ledgers] == [
+                led.work for led in serial.ledgers
+            ]
+            assert [led.depth for led in batched.ledgers] == [
+                led.depth for led in serial.ledgers
+            ]
+            assert batched.ledger.work == serial.ledger.work
+            assert batched.ledger.depth == serial.ledger.depth
+
+    def test_trees_identical_not_just_metrically(self):
+        """Beyond the distance matrix: the structure arrays coincide."""
+        g = gen.grid(4, 5, rng=8)
+        cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+        serial = Pipeline(g, cfg).sample_ensemble(k=3, seed=3, mode="serial")
+        batched = Pipeline(g, cfg).sample_ensemble(k=3, seed=3, mode="batched")
+        for a, b in zip(serial, batched):
+            assert np.array_equal(a.tree.level_ids, b.tree.level_ids)
+            assert np.array_equal(a.tree.parent, b.tree.parent)
+            assert np.array_equal(a.tree.node_leading, b.tree.node_leading)
+            assert np.array_equal(a.tree.edge_weights, b.tree.edge_weights)
+
+    def test_seed_none_continues_pipeline_stream(self):
+        g = gen.cycle(12, rng=9)
+        cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"), seed=11)
+        a = Pipeline(g, cfg).sample_ensemble(k=2, mode="serial")
+        b = Pipeline(g, cfg).sample_ensemble(k=2, mode="batched")
+        for x, y in zip(a, b):
+            _assert_same_embedding(x, y)
+
+    def test_mode_defaults_to_config(self):
+        g = gen.cycle(12, rng=9)
+        cfg = PipelineConfig(
+            embedding=EmbeddingConfig(method="direct", ensemble_mode="batched")
+        )
+        res = Pipeline(g, cfg).sample_ensemble(k=2, seed=4)
+        assert res.meta["mode"] == "batched"
+        assert res.meta["stats"]["samples"] == 2
+
+    def test_dense_batched_backend_end_to_end(self):
+        g = gen.cycle(14, rng=10)
+        cfg = PipelineConfig(
+            embedding=EmbeddingConfig(method="direct", backend="dense-batched")
+        )
+        batched = Pipeline(g, cfg).sample_ensemble(k=3, seed=5, mode="batched")
+        dense_cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+        serial = Pipeline(g, dense_cfg).sample_ensemble(k=3, seed=5, mode="serial")
+        for a, b in zip(serial, batched):
+            _assert_same_embedding(a, b)
+
+    def test_batched_amortizes_one_build(self):
+        g = gen.cycle(16, rng=11)
+        pipe = Pipeline(g, PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=4)))
+        res = pipe.sample_ensemble(k=4, seed=6, mode="batched")
+        assert res.meta["stats"]["hopset_builds"] == 1
+        assert res.meta["stats"]["oracle_builds"] == 1
+        assert res.meta["stats"]["samples"] == 4
+        assert res.timings["samples"] <= res.timings["total"] + 1e-9
+
+    def test_unknown_mode_rejected(self):
+        g = gen.cycle(8, rng=12)
+        with pytest.raises(ValueError, match="mode"):
+            Pipeline(g, PipelineConfig(seed=0)).sample_ensemble(k=2, mode="turbo")
+
+    def test_workers_incompatible_with_batched(self):
+        g = gen.cycle(8, rng=12)
+        with pytest.raises(ValueError, match="workers"):
+            Pipeline(g, PipelineConfig(seed=0)).sample_ensemble(
+                k=2, mode="batched", workers=2
+            )
+
+    def test_backend_without_batch_driver_rejected(self):
+        g = gen.cycle(8, rng=12)
+        cfg = PipelineConfig(
+            embedding=EmbeddingConfig(method="direct", backend="reference")
+        )
+        with pytest.raises(ValueError, match="batched LE-list driver"):
+            Pipeline(g, cfg, rng=0).sample_ensemble(k=2, mode="batched")
+
+    def test_batch_seed_does_not_shift_pipeline_stream(self):
+        g = gen.cycle(16, rng=5)
+        cfg = PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=4))
+        p1 = Pipeline(g, cfg, rng=0)
+        p1.sample_ensemble(k=2, seed=5, mode="batched")
+        after_batch = p1.sample()
+        p2 = Pipeline(g, cfg, rng=0, hopset=p1.hopset(), oracle=p1.oracle())
+        _assert_same_embedding(after_batch, p2.sample())

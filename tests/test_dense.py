@@ -223,3 +223,30 @@ class TestWeightScale:
         out = dense_iteration(g, x0, MinFilter(), weight_scale=2.0)
         d = out.to_matrix()[:, 0]
         assert d[1] == 2.0  # weight 1 scaled by 2
+
+
+class TestRunDenseMaxIterations:
+    """``run_dense`` exposes the same cap API as ``run_to_fixpoint`` and
+    ``HOracle.run`` (same default, semantics, and validation)."""
+
+    def test_default_cap_unchanged(self):
+        g = gen.cycle(8, rng=0)
+        _, iters = run_dense(g, MinFilter())
+        assert iters <= g.n
+
+    def test_cap_is_exactly_max_iterations(self):
+        g = gen.path_graph(8)  # SPD = 7: fixpoint at 7, detected at 8
+        states, iters = run_dense(g, MinFilter(), max_iterations=8)
+        assert iters == 7
+        with pytest.raises(RuntimeError, match="within 7"):
+            run_dense(g, MinFilter(), max_iterations=7)
+
+    def test_rejects_nonpositive_cap(self):
+        g = gen.cycle(6, rng=0)
+        with pytest.raises(ValueError, match="max_iterations"):
+            run_dense(g, MinFilter(), max_iterations=0)
+
+    def test_cap_ignored_with_explicit_h(self):
+        g = gen.path_graph(6)
+        states, iters = run_dense(g, MinFilter(), h=2, max_iterations=1)
+        assert iters == 2

@@ -1,0 +1,293 @@
+"""The batched multi-sample MBF engine: layout, kernels, drivers, parity.
+
+The acceptance contract of the batched engine is *bit-identical* output:
+for every sample, the batched drivers must reproduce the serial engine's
+LE lists, iteration counts, and cost-ledger charges exactly — the batch is
+an implementation detail, not a semantic change.  These tests pin that
+contract at every layer (kernels, ``run_dense_batched``,
+``HOracle.run_batch``) including k=1 and non-power-of-two k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.hopsets import hub_hopset, rounded_hopset
+from repro.mbf.dense import (
+    BatchedFlatStates,
+    BatchedLEFilter,
+    FlatStates,
+    LEFilter,
+    MinFilter,
+    aggregate,
+    aggregate_batched,
+    dense_iteration,
+    dense_iteration_batched,
+    propagate,
+    propagate_batched,
+    run_dense,
+    run_dense_batched,
+)
+from repro.oracle import HOracle
+from repro.pram import CostLedger
+
+
+def _ranks(k, n, seed):
+    rng = np.random.default_rng(seed)
+    return np.stack([rng.permutation(n) for _ in range(k)])
+
+
+def _assert_batch_matches_serial(batched, iters, serial):
+    for s, (states, it) in enumerate(serial):
+        assert batched.sample_states(s).equals(states), f"sample {s} lists differ"
+        assert int(iters[s]) == it, f"sample {s} iteration count differs"
+
+
+class TestBatchedFlatStates:
+    def test_from_sources_stacks_samples(self):
+        b = BatchedFlatStates.from_sources(3, 4)
+        one = FlatStates.from_sources(4)
+        assert b.k == 3 and b.n == 4 and b.total == 12
+        for s in range(3):
+            assert b.sample_states(s).equals(one)
+
+    def test_from_states_roundtrip(self):
+        g = gen.cycle(9, rng=0)
+        parts = [
+            run_dense(g, LEFilter(r))[0] for r in _ranks(4, g.n, 1)
+        ]
+        b = BatchedFlatStates.from_states(parts)
+        assert b.k == 4
+        for s, st in enumerate(parts):
+            assert b.sample_states(s).equals(st)
+        assert all(x.equals(y) for x, y in zip(b.to_states(), parts))
+
+    def test_as_flat_view(self):
+        b = BatchedFlatStates.from_sources(2, 3)
+        flat = b.as_flat()
+        assert flat.n == 6
+        assert flat.total == b.total
+
+    def test_take_subset_and_order(self):
+        g = gen.cycle(7, rng=2)
+        parts = [run_dense(g, LEFilter(r))[0] for r in _ranks(3, g.n, 3)]
+        b = BatchedFlatStates.from_states(parts)
+        sub = b.take([2, 0])
+        assert sub.k == 2
+        assert sub.sample_states(0).equals(parts[2])
+        assert sub.sample_states(1).equals(parts[0])
+
+    def test_sample_equal_is_per_sample(self):
+        g = gen.cycle(7, rng=2)
+        parts = [run_dense(g, LEFilter(r))[0] for r in _ranks(3, g.n, 3)]
+        a = BatchedFlatStates.from_states(parts)
+        c = BatchedFlatStates.from_states([parts[0], parts[0], parts[2]])
+        eq = a.sample_equal(c)
+        assert eq.tolist() == [True, parts[1].equals(parts[0]), True]
+
+    def test_restrict_matches_per_sample_restrict(self):
+        g = gen.grid(3, 3, rng=4)
+        parts = [run_dense(g, LEFilter(r))[0] for r in _ranks(2, g.n, 5)]
+        b = BatchedFlatStates.from_states(parts)
+        mask = np.random.default_rng(6).random(g.n) < 0.5
+        restricted = b.restrict(mask)
+        for s, st in enumerate(parts):
+            assert restricted.sample_states(s).equals(st.restrict(mask))
+
+    def test_sample_totals(self):
+        g = gen.cycle(6, rng=7)
+        parts = [run_dense(g, LEFilter(r))[0] for r in _ranks(2, g.n, 8)]
+        b = BatchedFlatStates.from_states(parts)
+        assert b.sample_totals().tolist() == [p.total for p in parts]
+
+    def test_mixed_node_counts_rejected(self):
+        with pytest.raises(ValueError, match="same node count"):
+            BatchedFlatStates.from_states(
+                [FlatStates.from_sources(3), FlatStates.from_sources(4)]
+            )
+
+
+class TestBatchedLEFilter:
+    def test_validates_shape(self):
+        with pytest.raises(ValueError, match=r"\(k, n\)"):
+            BatchedLEFilter(np.arange(5))
+
+    def test_entry_ranks_per_sample(self):
+        ranks = np.array([[0, 1, 2], [2, 1, 0]])
+        f = BatchedLEFilter(ranks)
+        tgt = np.array([0, 1, 3, 5])  # samples 0, 0, 1, 1
+        ids = np.array([2, 0, 0, 2])
+        assert f.entry_ranks(tgt, ids).tolist() == [2, 0, 2, 0]
+
+    def test_take_reslices(self):
+        ranks = _ranks(4, 6, 9)
+        sub = BatchedLEFilter(ranks).take(np.array([3, 1]))
+        assert np.array_equal(sub.ranks, ranks[[3, 1]])
+
+
+class TestBatchedKernels:
+    def test_propagate_batched_matches_serial(self):
+        g = gen.cycle(8, rng=0)
+        parts = [run_dense(g, LEFilter(r), h=1)[0] for r in _ranks(3, g.n, 1)]
+        b = BatchedFlatStates.from_states(parts)
+        src, dst, w = g.directed_edges()
+        vtgt, ids, dists = propagate_batched(b, src, dst, w)
+        for s, st in enumerate(parts):
+            t_s, i_s, d_s = propagate(st, src, dst, w)
+            in_sample = (vtgt // g.n) == s
+            assert np.array_equal(vtgt[in_sample] - s * g.n, t_s)
+            assert np.array_equal(ids[in_sample], i_s)
+            assert np.array_equal(dists[in_sample], d_s)
+
+    def test_aggregate_batched_le_matches_serial(self):
+        g = gen.random_graph(12, 25, rng=2)
+        ranks = _ranks(3, g.n, 3)
+        parts = [run_dense(g, LEFilter(r), h=1)[0] for r in ranks]
+        b = BatchedFlatStates.from_states(parts)
+        src, dst, w = g.directed_edges()
+        vtgt, ids, dists = propagate_batched(b, src, dst, w)
+        out = aggregate_batched(3, g.n, vtgt, ids, dists, BatchedLEFilter(ranks))
+        for s, (st, r) in enumerate(zip(parts, ranks)):
+            t_s, i_s, d_s = propagate(st, src, dst, w)
+            expect = aggregate(g.n, t_s, i_s, d_s, LEFilter(r))
+            assert out.sample_states(s).equals(expect)
+
+    def test_dense_iteration_batched_minfilter(self):
+        """The generic (sample-oblivious) path: MinFilter over all samples
+        in one pass equals per-sample serial iterations."""
+        g = gen.grid(3, 4, rng=4)
+        b = BatchedFlatStates.from_sources(3, g.n)
+        out = dense_iteration_batched(g, b, MinFilter())
+        expect = dense_iteration(g, FlatStates.from_sources(g.n), MinFilter())
+        for s in range(3):
+            assert out.sample_states(s).equals(expect)
+
+    def test_filter_batch_shape_mismatch_rejected(self):
+        g = gen.cycle(5, rng=5)
+        b = BatchedFlatStates.from_sources(2, g.n)
+        with pytest.raises(ValueError, match="does not match"):
+            dense_iteration_batched(g, b, BatchedLEFilter(_ranks(3, g.n, 6)))
+
+
+class TestRunDenseBatchedParity:
+    @pytest.mark.parametrize("k", [1, 3, 5, 8])
+    def test_le_lists_bit_identical(self, k):
+        g = gen.random_graph(24, 60, rng=10)
+        ranks = _ranks(k, g.n, 11)
+        serial = [run_dense(g, LEFilter(r)) for r in ranks]
+        batched, iters = run_dense_batched(g, BatchedLEFilter(ranks), k)
+        _assert_batch_matches_serial(batched, iters, serial)
+
+    def test_families(self, small_graphs):
+        for g in small_graphs:
+            ranks = _ranks(3, g.n, 12)
+            serial = [run_dense(g, LEFilter(r)) for r in ranks]
+            batched, iters = run_dense_batched(g, BatchedLEFilter(ranks), 3)
+            _assert_batch_matches_serial(batched, iters, serial)
+
+    def test_ledgers_bit_identical(self):
+        """Per-sample batched ledgers charge exactly the serial model cost
+        (work *and* depth), including each sample's confirming iteration
+        and nothing after it."""
+        g = gen.random_graph(20, 50, rng=13)
+        ranks = _ranks(4, g.n, 14)
+        serial_ledgers = [CostLedger() for _ in range(4)]
+        batch_ledgers = [CostLedger() for _ in range(4)]
+        for r, led in zip(ranks, serial_ledgers):
+            run_dense(g, LEFilter(r), ledger=led)
+        run_dense_batched(g, BatchedLEFilter(ranks), 4, ledgers=batch_ledgers)
+        for s, (a, b) in enumerate(zip(serial_ledgers, batch_ledgers)):
+            assert (a.work, a.depth) == (b.work, b.depth), f"sample {s}"
+
+    def test_fixed_h_mode(self):
+        g = gen.cycle(10, rng=15)
+        ranks = _ranks(3, g.n, 16)
+        batched, iters = run_dense_batched(g, BatchedLEFilter(ranks), 3, h=2)
+        assert iters.tolist() == [2, 2, 2]
+        for s, r in enumerate(ranks):
+            expect, _ = run_dense(g, LEFilter(r), h=2)
+            assert batched.sample_states(s).equals(expect)
+
+    def test_minfilter_batch(self):
+        g = gen.grid(4, 4, rng=17)
+        expect, it = run_dense(g, MinFilter())
+        batched, iters = run_dense_batched(g, MinFilter(), 3)
+        assert iters.tolist() == [it, it, it]
+        for s in range(3):
+            assert batched.sample_states(s).equals(expect)
+
+    def test_max_iterations_cap(self):
+        g = gen.path_graph(8)
+        with pytest.raises(RuntimeError, match="no fixpoint"):
+            run_dense_batched(g, MinFilter(), 2, max_iterations=3)
+        with pytest.raises(ValueError, match="max_iterations"):
+            run_dense_batched(g, MinFilter(), 2, max_iterations=0)
+
+    def test_ledger_count_validated(self):
+        g = gen.cycle(6, rng=18)
+        with pytest.raises(ValueError, match="one ledger per sample"):
+            run_dense_batched(
+                g, BatchedLEFilter(_ranks(3, g.n, 19)), 3, ledgers=[CostLedger()]
+            )
+
+    def test_spec_shape_validated(self):
+        g = gen.cycle(6, rng=18)
+        with pytest.raises(ValueError, match="does not match"):
+            run_dense_batched(g, BatchedLEFilter(_ranks(2, g.n, 19)), 3)
+
+
+class TestOracleRunBatchParity:
+    def _oracle(self, g, seed, **kwargs):
+        rng = np.random.default_rng(seed)
+        hop = rounded_hopset(hub_hopset(g, 4, rng=rng), g, 0.25)
+        return HOracle(hop, rng=rng, **kwargs)
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_le_lists_bit_identical(self, k):
+        g = gen.cycle(20, wmin=1, wmax=2, rng=20)
+        oracle = self._oracle(g, 21)
+        ranks = _ranks(k, g.n, 22)
+        serial = [oracle.run(LEFilter(r)) for r in ranks]
+        batched, iters = oracle.run_batch(BatchedLEFilter(ranks), k)
+        _assert_batch_matches_serial(batched, iters, serial)
+
+    def test_ledgers_bit_identical(self):
+        g = gen.random_graph(18, 40, rng=23)
+        oracle = self._oracle(g, 24)
+        ranks = _ranks(3, g.n, 25)
+        serial_ledgers = [CostLedger() for _ in range(3)]
+        batch_ledgers = [CostLedger() for _ in range(3)]
+        for r, led in zip(ranks, serial_ledgers):
+            oracle.run(LEFilter(r), ledger=led)
+        oracle.run_batch(BatchedLEFilter(ranks), 3, ledgers=batch_ledgers)
+        for s, (a, b) in enumerate(zip(serial_ledgers, batch_ledgers)):
+            assert (a.work, a.depth) == (b.work, b.depth), f"sample {s}"
+
+    def test_without_inner_early_exit(self):
+        """The literal (Λ+1)·d inner cost path batches identically too."""
+        g = gen.cycle(14, rng=26)
+        oracle = self._oracle(g, 27, inner_early_exit=False)
+        ranks = _ranks(3, g.n, 28)
+        serial = [oracle.run(LEFilter(r)) for r in ranks]
+        batched, iters = oracle.run_batch(BatchedLEFilter(ranks), 3)
+        _assert_batch_matches_serial(batched, iters, serial)
+
+    def test_fixed_h_mode(self):
+        g = gen.cycle(12, rng=29)
+        oracle = self._oracle(g, 30)
+        ranks = _ranks(2, g.n, 31)
+        batched, iters = oracle.run_batch(BatchedLEFilter(ranks), 2, h=2)
+        assert iters.tolist() == [2, 2]
+        for s, r in enumerate(ranks):
+            expect, _ = oracle.run(LEFilter(r), h=2)
+            assert batched.sample_states(s).equals(expect)
+
+    def test_minfilter_apsp_batch(self):
+        """run_batch with a sample-oblivious filter: batched APSP on H."""
+        g = gen.cycle(10, rng=32)
+        oracle = self._oracle(g, 33)
+        expect, it = oracle.run(MinFilter())
+        batched, iters = oracle.run_batch(MinFilter(), 2)
+        assert iters.tolist() == [it, it]
+        for s in range(2):
+            assert batched.sample_states(s).equals(expect)

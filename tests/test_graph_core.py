@@ -152,6 +152,27 @@ class TestWithExtraEdges:
         g.with_extra_edges(np.array([[0, 1]]), np.array([0.1]))
         assert g.adjacency()[0, 1] == 1.0
 
+    def test_rejects_invalid_extra_weights(self):
+        """Regression: the result is built with ``validate=False``, so a
+        buggy hop set could previously inject zero/negative/inf/NaN
+        weights silently; extra weights are now validated up front."""
+        g = triangle_graph()
+        for bad in (0.0, -1.0, np.inf, -np.inf, np.nan):
+            with pytest.raises(ValueError, match="finite and > 0"):
+                g.with_extra_edges(np.array([[0, 1]]), np.array([bad]))
+
+    def test_rejects_out_of_range_extra_endpoint(self):
+        g = triangle_graph()
+        with pytest.raises(ValueError, match="out of range"):
+            g.with_extra_edges(np.array([[0, 3]]), np.array([1.0]))
+        with pytest.raises(ValueError, match="out of range"):
+            g.with_extra_edges(np.array([[-1, 1]]), np.array([1.0]))
+
+    def test_rejects_extra_count_mismatch(self):
+        g = triangle_graph()
+        with pytest.raises(ValueError, match="mismatch"):
+            g.with_extra_edges(np.array([[0, 1]]), np.array([1.0, 2.0]))
+
 
 class TestEquality:
     def test_equal_regardless_of_edge_order(self):
