@@ -1,60 +1,98 @@
-"""E7 — Section 3: the MBF-like zoo is correct and fixpoints at SPD.
+"""E7 — Section 3: the whole MBF-like zoo, through the registry, at dense speed.
 
 Paper claims: the framework subsumes SSSP/APSP/k-SSP/source detection/
-widest paths/k-SDP/connectivity; fixpoints arrive within SPD(G)
-iterations; filtering buys efficiency (k-SSP work ≪ APSP work).
+widest paths/connectivity/LE lists as instances of one template; fixpoints
+arrive within SPD(G) iterations; filtering buys efficiency.
 
-Measured: per-algorithm runtime on a common midsize graph (ground truth
-checked), dense-vs-reference engine speedup on APSP, and the filtered
-(k=4) vs unfiltered (k=n) work ratio in ledger units.  Expected shape:
-dense engine wins by an order of magnitude; top-k filtering cuts work by
-~n/k-ish on dense states.
+Measured: per-family reference-vs-dense runtime through the uniform
+``solve(G, problem, engine=...)`` driver (decoded outputs and iteration
+counts asserted identical), the dense speedup on SSSP at n=512 (must be
+≥ 5x — the acceptance bar for the problem-centric engine API), and the
+filtered (k=4) vs unfiltered (k=n) work ratio in ledger units.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from repro.api import solve
 from repro.graph import generators as gen
 from repro.graph.shortest_paths import dijkstra_distances, shortest_path_diameter
-from repro.mbf import run_to_fixpoint, zoo
-from repro.mbf.dense import MinFilter, TopKFilter, run_dense
+from repro.mbf import zoo
+from repro.mbf.dense import FlatStates, MinFilter, TopKFilter, run_dense
 from repro.pram import CostLedger
 
 G = gen.random_graph(48, 120, rng=70)
 D_TRUTH = dijkstra_distances(G)
 SPD = shortest_path_diameter(G)
 
+FAMILY_CASES = [
+    "sssp",
+    "mssp",
+    "apsp",
+    "k_ssp",
+    "source_detection",
+    "forest_fire",
+    "sswp",
+    "mswp",
+    "apwp",
+    "connectivity",
+    "le_lists",
+]
 
-@pytest.mark.parametrize(
-    "name", ["sssp", "apsp", "k_ssp", "mssp", "forest_fire", "sswp", "connectivity"]
-)
-def test_e7_zoo_correct_and_timed(benchmark, name):
+
+def _make(name: str, n: int):
     if name == "sssp":
-        inst = zoo.sssp(G.n, 0)
-    elif name == "apsp":
-        inst = zoo.apsp(G.n)
-    elif name == "k_ssp":
-        inst = zoo.k_ssp(G.n, 4)
-    elif name == "mssp":
-        inst = zoo.mssp(G.n, [0, 5, 9])
-    elif name == "forest_fire":
-        inst = zoo.forest_fire(G.n, [0, 7], dmax=3.0)
-    elif name == "sswp":
-        inst = zoo.sswp(G.n, 0)
-    else:
-        inst = zoo.connectivity(G.n)
+        return zoo.sssp(n, 0)
+    if name == "mssp":
+        return zoo.mssp(n, [0, 5, 9])
+    if name == "apsp":
+        return zoo.apsp(n)
+    if name == "k_ssp":
+        return zoo.k_ssp(n, 4)
+    if name == "source_detection":
+        return zoo.source_detection(n, [0, 5, 9], k=2, dmax=4.0)
+    if name == "forest_fire":
+        return zoo.forest_fire(n, [0, 7], dmax=3.0)
+    if name == "sswp":
+        return zoo.sswp(n, 0)
+    if name == "mswp":
+        return zoo.mswp(n, [0, 5])
+    if name == "apwp":
+        return zoo.apwp(n)
+    if name == "connectivity":
+        return zoo.connectivity(n)
+    return zoo.le_lists(n, np.random.default_rng(73).permutation(n))
+
+
+def _same(a, b) -> bool:
+    if isinstance(a, FlatStates):
+        return a.equals(b)
+    return np.array_equal(np.asarray(a), np.asarray(b))
+
+
+@pytest.mark.parametrize("name", FAMILY_CASES)
+def test_e7_zoo_dense_vs_reference(benchmark, name):
+    """Every family: dense output == reference output, dense wins on time."""
+    inst = _make(name, G.n)
+    t0 = time.perf_counter()
+    ref, it_ref = solve(G, inst, engine="reference")
+    t_ref = time.perf_counter() - t0
 
     def run():
-        return run_to_fixpoint(G, inst.algo, inst.x0)
+        return solve(G, inst, engine="dense")
 
-    states, iters = benchmark.pedantic(run, rounds=1, iterations=1)
-    benchmark.extra_info.update(algorithm=name, iterations=iters, spd=SPD)
-    if name != "sswp":
+    out, iters = benchmark.pedantic(run, rounds=1, iterations=1)
+    t_dense = benchmark.stats.stats.mean
+    assert _same(out, ref)
+    assert iters == it_ref
+    if name not in ("sswp", "mswp", "apwp"):
         # Min-plus algorithms fixpoint within SPD(G); widest-path fixpoints
         # are bounded by the max-min analogue of the SPD instead (< n).
         assert iters <= SPD + 1
     assert iters <= G.n
-    out = inst.decode(states)
+    # Spot-check decoded outputs against independent ground truth.
     if name == "sssp":
         assert np.allclose(out, D_TRUTH[0])
     elif name == "apsp":
@@ -62,31 +100,41 @@ def test_e7_zoo_correct_and_timed(benchmark, name):
     elif name == "mssp":
         assert np.allclose(out[:, [0, 5, 9]], D_TRUTH[:, [0, 5, 9]])
     elif name == "forest_fire":
-        want = (np.minimum(D_TRUTH[0], D_TRUTH[7]) <= 3.0)
+        want = np.minimum(D_TRUTH[0], D_TRUTH[7]) <= 3.0
         assert np.array_equal(out, want)
     elif name == "connectivity":
         assert out.all()
+    benchmark.extra_info.update(
+        family=inst.family,
+        iterations=int(iters),
+        spd=SPD,
+        reference_seconds=t_ref,
+        speedup=t_ref / max(t_dense, 1e-9),
+    )
 
 
-def test_e7_dense_engine_speedup(benchmark):
-    """The vectorized engine vs the reference engine on APSP."""
-    import time
-
-    inst = zoo.apsp(G.n)
+@pytest.mark.parametrize("n", [64, 512])
+def test_e7_sssp_dense_speedup(benchmark, n):
+    """The acceptance bar: ≥ 5x over the reference engine on SSSP at n=512."""
+    g = gen.random_graph(n, 4 * n, rng=72)
+    inst = zoo.sssp(n, 0)
     t0 = time.perf_counter()
-    ref_states, _ = run_to_fixpoint(G, inst.algo, inst.x0)
+    ref, it_ref = solve(g, inst, engine="reference")
     t_ref = time.perf_counter() - t0
 
-    def dense():
-        return run_dense(G, MinFilter())
+    def run():
+        return solve(g, inst, engine="dense")
 
-    states, _ = benchmark.pedantic(dense, rounds=3, iterations=1)
+    out, iters = benchmark.pedantic(run, rounds=3, iterations=1)
     t_dense = benchmark.stats.stats.mean
-    assert np.allclose(states.to_matrix(), inst.decode(ref_states))
+    assert np.array_equal(out, ref)
+    assert iters == it_ref
+    speedup = t_ref / max(t_dense, 1e-9)
     benchmark.extra_info.update(
-        reference_seconds=t_ref, speedup=t_ref / max(t_dense, 1e-9)
+        n=n, reference_seconds=t_ref, speedup=speedup, iterations=int(iters)
     )
-    assert t_dense < t_ref  # vectorization must win
+    if n >= 512:
+        assert speedup >= 5.0
 
 
 def test_e7_filtering_cuts_work(benchmark):

@@ -1,18 +1,18 @@
 #!/usr/bin/env python
 """A tour of the MBF-like algorithm framework (Sections 2-3).
 
-One engine, many algorithms: swapping the semiring, semimodule, filter and
-initialization re-targets the same iteration ``x <- r^V A x`` to shortest
-paths, source detection, widest paths (trust networks), k-shortest
-distances, and connectivity.
+One template, many algorithms, many engines: each zoo factory packages a
+semimodule + filter + initialization as an :class:`MBFProblem`, and the
+engine registry runs it on the best capable engine — vectorized dense
+kernels for the scalar / distance-map / Boolean families, the object-based
+reference engine for the all-paths family.
 
 Run:  python examples/mbf_framework_tour.py
 """
 
 import numpy as np
 
-from repro.graph.core import Graph
-from repro.mbf import run_to_fixpoint, zoo
+from repro.api import Graph, Pipeline, PipelineConfig, problems, resolve_engine, solve
 
 
 def main() -> None:
@@ -26,14 +26,17 @@ def main() -> None:
     print(f"graph: n={g.n} m={g.m}\n")
 
     # -- SSSP (min-plus semiring, Example 3.3) ------------------------------
-    inst = zoo.sssp(g.n, source=0)
-    states, iters = run_to_fixpoint(g, inst.algo, inst.x0)
-    print(f"SSSP from 0 ({iters} iterations): {np.round(inst.decode(states), 3)}")
+    # solve() picks an engine by capability: scalar min-plus runs dense.
+    inst = problems.sssp(g.n, source=0)
+    dists, iters = solve(g, inst)
+    print(
+        f"SSSP from 0 ({iters} iterations, engine="
+        f"{resolve_engine(inst).name!r}): {np.round(dists, 3)}"
+    )
 
     # -- source detection (Example 3.2) --------------------------------------
-    inst = zoo.source_detection(g.n, sources=[0, 5], k=1, dmax=2.0)
-    states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
-    out = inst.decode(states)
+    inst = problems.source_detection(g.n, sources=[0, 5], k=1, dmax=2.0)
+    out, _ = solve(g, inst)
     nearest = [
         (v, int(np.argmin(out[v])), round(float(out[v].min()), 3))
         for v in range(g.n)
@@ -42,22 +45,34 @@ def main() -> None:
     print(f"nearest source in {{0,5}} within 2.0: {nearest}")
 
     # -- widest paths / trust propagation (max-min semiring, Ex. 3.13) -------
-    inst = zoo.sswp(g.n, source=0)
-    states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
-    trust = inst.decode(states)
+    trust, _ = solve(g, problems.sswp(g.n, source=0))
     print(f"transitive trust from 0 (widest paths): {np.round(trust, 3)}")
 
     # -- k shortest distances with paths (all-paths semiring, Ex. 3.23) ------
-    inst = zoo.k_sdp(g.n, k=3, sink=3)
-    states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
-    print("3 lightest simple 0->3 paths:")
-    for w, p in inst.decode(states)[0]:
+    # No dense form exists for the all-paths family; auto selection falls
+    # back to the reference engine.
+    inst = problems.k_sdp(g.n, k=3, sink=3)
+    paths, _ = solve(g, inst)
+    print(f"3 lightest simple 0->3 paths (engine={resolve_engine(inst).name!r}):")
+    for w, p in paths[0]:
         print(f"   weight {w:.2f}  via {p}")
 
     # -- connectivity (Boolean semiring, Ex. 3.25) ---------------------------
-    inst = zoo.connectivity(g.n)
-    states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
-    print(f"connected: {bool(inst.decode(states).all())}")
+    reach, _ = solve(g, problems.connectivity(g.n))
+    print(f"connected: {bool(reach.all())}")
+
+    # -- the same zoo through the Pipeline facade ----------------------------
+    # Pipeline.solve adds the facade treatment: per-call stats, wall-clock
+    # timings, and SolveResult provenance alongside FRT sampling.
+    pipe = Pipeline(g, PipelineConfig(seed=0))
+    res = pipe.solve(problems.mssp(g.n, sources=[0, 3]))
+    print(
+        f"\nPipeline.solve: {res.problem} via {res.engine!r} in "
+        f"{res.iterations} iterations; stats={pipe.stats['solves']} solve(s), "
+        f"{pipe.timings['solves'] * 1e3:.2f} ms"
+    )
+    tree = pipe.sample().tree
+    print(f"...and an FRT tree from the same facade: {tree.num_nodes} tree nodes")
 
 
 if __name__ == "__main__":

@@ -13,10 +13,16 @@ is the canonical way to drive it:
 - :mod:`~repro.api.configs` — frozen, validated stage configs
   (:class:`HopsetConfig`, :class:`OracleConfig`, :class:`EmbeddingConfig`,
   :class:`PipelineConfig`) with ``to_dict``/``from_dict`` round-tripping;
-- :mod:`~repro.api.registry` — the string-keyed MBF engine registry
-  (``"dense"``, ``"reference"``, plus third-party registrations);
+- :mod:`~repro.api.registry` — the string-keyed, capability-based MBF
+  engine registry (``"dense"``, ``"reference"``, plus third-party
+  registrations) with the uniform :func:`solve` driver;
+- :mod:`~repro.api.problems` — the Section-3 algorithm zoo as first-class
+  :class:`MBFProblem` values (``problems.sssp(n, source)``, widest paths,
+  source detection, connectivity, LE lists, ...), every family runnable on
+  any capable engine via :func:`solve` or :meth:`Pipeline.solve`;
 - :mod:`~repro.api.result` — :class:`PipelineResult` (trees + cost ledgers
-  + stage timings + provenance) and :class:`DistanceOracle`.
+  + stage timings + provenance), :class:`SolveResult`, and
+  :class:`DistanceOracle`.
 
 Convenience re-exports make the facade self-sufficient for scripts and
 benchmarks: graph construction/generators, ground-truth distances, stretch
@@ -51,12 +57,24 @@ from repro.api.configs import (
 from repro.api.pipeline import Pipeline
 from repro.api.registry import (
     MBFBackend,
+    MBFEngine,
     available_backends,
+    available_engines,
+    engines_for,
     get_backend,
+    get_engine,
     register_backend,
+    register_engine,
+    resolve_engine,
+    solve,
     unregister_backend,
+    unregister_engine,
 )
-from repro.api.result import DistanceOracle, PipelineResult
+from repro.api.result import DistanceOracle, PipelineResult, SolveResult
+
+# The Section-3 algorithm zoo, re-exported as the problem catalogue.
+from repro.api import problems
+from repro.mbf.problem import FAMILIES, MBFProblem
 
 # Convenience re-exports: enough surface that examples and benchmarks can
 # drive the whole pipeline importing only from repro.api.
@@ -85,7 +103,20 @@ __all__ = [
     "ENSEMBLE_MODES",
     "PipelineResult",
     "DistanceOracle",
-    # backend registry
+    "SolveResult",
+    # problems and the engine registry
+    "problems",
+    "MBFProblem",
+    "FAMILIES",
+    "MBFEngine",
+    "register_engine",
+    "unregister_engine",
+    "get_engine",
+    "available_engines",
+    "engines_for",
+    "resolve_engine",
+    "solve",
+    # deprecated LE-list backend shim
     "MBFBackend",
     "register_backend",
     "unregister_backend",

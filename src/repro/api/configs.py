@@ -138,10 +138,11 @@ class EmbeddingConfig(_ConfigBase):
     ensemble_mode:
         Default mode for :meth:`~repro.api.pipeline.Pipeline.sample_ensemble`:
         ``"serial"`` — one LE-list computation per sample (optionally over a
-        process pool); ``"batched"`` — all ``k`` samples in one vectorized
-        multi-sample pass (bit-identical results, higher throughput, peak
-        memory scales with ``k``).  A ``mode=`` argument to
-        ``sample_ensemble`` overrides this per call.
+        process pool); ``"batched"`` — all ``k`` samples in one fused
+        multi-sample pass (bit-identical results; wins on per-call overhead
+        for small ``n · k``, peak memory scales with ``k`` — both modes run
+        the same incremental kernel, see ``benchmarks/bench_e13``).  A
+        ``mode=`` argument to ``sample_ensemble`` overrides this per call.
     """
 
     method: str = "oracle"

@@ -27,8 +27,8 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from repro.api.configs import ENSEMBLE_MODES, PipelineConfig
-from repro.api.registry import get_backend
-from repro.api.result import DistanceOracle, PipelineResult
+from repro.api.registry import get_backend, invoke_solve, resolve_engine
+from repro.api.result import DistanceOracle, PipelineResult, SolveResult
 from repro.frt.embedding import EmbeddingResult, _draw_randomness
 from repro.frt.lelists import (
     compute_le_lists_batch_via_oracle,
@@ -106,6 +106,7 @@ class Pipeline:
             "oracle_builds": 0,
             "metric_builds": 0,
             "samples": 0,
+            "solves": 0,
         }
         self.timings: dict[str, float] = {}
 
@@ -399,6 +400,55 @@ class Pipeline:
             time.perf_counter() - t0
         )
         return pairs
+
+    # -- problem solving ------------------------------------------------------
+
+    def solve(
+        self,
+        problem,
+        *,
+        engine: str | None = None,
+        h: int | None = None,
+        max_iterations: int | None = None,
+        ledger: CostLedger = NULL_LEDGER,
+    ) -> SolveResult:
+        """Run an MBF-like problem (:mod:`repro.api.problems`) on this graph.
+
+        The zoo-wide counterpart of :meth:`sample`: one call per problem,
+        engine selected by capability (``engine=None``/``"auto"`` prefers
+        the vectorized path; ``"reference"``/``"dense"``/... pin one), with
+        the same ledger/timings treatment as sampling — wall-clock lands in
+        ``timings["solves"]``, model costs in ``ledger`` (the vectorized
+        engines charge it; the ``"reference"`` engine predates the cost
+        model and charges nothing), and the call count in
+        ``stats["solves"]``.
+
+        >>> res = pipe.solve(problems.sssp(pipe.G.n, source=0))
+        >>> res.value            # decoded answer (here: distance vector)
+        >>> res.iterations       # MBF iterations to the fixpoint
+
+        ``h`` runs exactly ``h`` iterations (h-hop semantics) instead of
+        iterating to the fixpoint; ``max_iterations`` caps the fixpoint
+        search (and only that — an explicit ``h`` takes precedence, as in
+        :func:`~repro.mbf.dense.run_dense`).  Returns a
+        :class:`~repro.api.result.SolveResult`.
+        """
+        eng = resolve_engine(problem, engine)
+        t0 = time.perf_counter()
+        value, iterations = invoke_solve(
+            eng, self.G, problem, h=h, max_iterations=max_iterations, ledger=ledger
+        )
+        self.stats["solves"] += 1
+        self.timings["solves"] = self.timings.get("solves", 0.0) + (
+            time.perf_counter() - t0
+        )
+        return SolveResult(
+            value=value,
+            iterations=int(iterations),
+            problem=problem.name,
+            family=problem.family,
+            engine=eng.name,
+        )
 
     # -- distance queries -----------------------------------------------------
 

@@ -7,12 +7,15 @@ backend, hop-set and oracle diagnostics, build counters).
 
 :class:`DistanceOracle` wraps a computed :class:`~repro.metric.MetricResult`
 as a constant-time query object — the Theorem 6.1 interface.
+
+:class:`SolveResult` carries one :meth:`~repro.api.pipeline.Pipeline.solve`
+answer: the decoded value plus iteration count and engine provenance.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -22,7 +25,32 @@ from repro.frt.tree import FRTTree
 from repro.metric.approx_metric import MetricResult
 from repro.pram.cost import CostLedger
 
-__all__ = ["PipelineResult", "DistanceOracle"]
+__all__ = ["PipelineResult", "DistanceOracle", "SolveResult"]
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """One solved MBF problem: decoded answer + run provenance.
+
+    ``value`` is the problem's decoded output (whatever its ``decode``
+    produces: distance vectors/matrices, Boolean flags, LE lists, path
+    lists); ``iterations`` the number of MBF iterations performed (the
+    fixpoint index, or the requested ``h``).  ``problem``/``family``/
+    ``engine`` record what ran where, so results are self-describing in
+    experiment logs.
+    """
+
+    value: Any
+    iterations: int
+    problem: str
+    family: str
+    engine: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolveResult({self.problem!r}, family={self.family!r}, "
+            f"engine={self.engine!r}, iterations={self.iterations})"
+        )
 
 
 @dataclass

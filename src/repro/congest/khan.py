@@ -16,9 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.congest.model import RoundLedger
-from repro.frt.lelists import _check_rank
 from repro.graph.core import Graph
-from repro.mbf.dense import FlatStates, LEFilter, aggregate, dense_iteration
+from repro.mbf.dense import FlatStates, LEFilter, aggregate, check_rank, dense_iteration
 
 __all__ = ["khan_le_lists"]
 
@@ -35,7 +34,7 @@ def khan_le_lists(
     exactly; the ledger reports the simulated Congest rounds
     (``Σ_i max_v |x_v^{(i)}|``, the per-iteration transmission time).
     """
-    rank = _check_rank(G.n, rank)
+    rank = check_rank(G.n, rank)
     ledger = ledger if ledger is not None else RoundLedger()
     spec = LEFilter(rank)
     states = FlatStates.from_sources(G.n)

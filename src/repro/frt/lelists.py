@@ -35,6 +35,7 @@ from repro.mbf.dense import (
     BatchedLEFilter,
     FlatStates,
     LEFilter,
+    check_rank as _check_rank,
     run_dense,
     run_dense_batched,
 )
@@ -131,15 +132,6 @@ def compute_le_lists_batch_via_oracle(
         max_iterations=max_iterations,
         ledgers=ledgers,
     )
-
-
-def _check_rank(n: int, rank: np.ndarray) -> np.ndarray:
-    rank = np.asarray(rank, dtype=np.int64)
-    if rank.shape != (n,):
-        raise ValueError(f"rank must have shape ({n},)")
-    if not np.array_equal(np.sort(rank), np.arange(n)):
-        raise ValueError("rank must be a permutation of 0..n-1")
-    return rank
 
 
 def _check_ranks(n: int, ranks: np.ndarray) -> np.ndarray:

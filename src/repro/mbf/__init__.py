@@ -10,31 +10,56 @@ An *MBF-like algorithm* (Definition 2.11) is a triple of
 iterated as ``x^(i+1) = r^V A x^(i)`` where ``A`` is the graph's adjacency
 matrix over ``S``.  Corollary 2.17 (``r^V ~ id``) guarantees filters can be
 applied after any subset of iterations without changing the (equivalence
-class of the) result — the engine exploits this.
+class of the) result — the engines exploit this.
 
-Two engines are provided:
+The framework is exposed through first-class *problems*
+(:class:`~repro.mbf.problem.MBFProblem`: algorithm + initialization +
+decoder + declared state family) solved by capability-matched *engines*:
 
 - :mod:`repro.mbf.engine` — the *reference engine*: works for any semiring /
-  semimodule / filter, object-based, used for the Section 3 zoo and as a
-  correctness oracle in tests.
-- :mod:`repro.mbf.dense` — the *flat engine*: vectorized NumPy implementation
-  of distance-map states (semimodule ``D``) with the three filters the core
-  results need (min-dedup / source-detection top-k / LE lists), instrumented
-  with the work/depth ledger.  This is what the oracle (Section 5) and the
-  FRT pipeline (Section 7) run on.
+  semimodule / filter, object-based, the correctness oracle for every
+  family (:func:`~repro.mbf.problem.solve_reference`).
+- :mod:`repro.mbf.dense` — the *flat engine*: vectorized CSR distance-map
+  states (semimodule ``D``) with the min-dedup / source-detection top-k /
+  LE-list filters, instrumented with the work/depth ledger.  This is what
+  the oracle (Section 5) and the FRT pipeline (Section 7) run on; the
+  serial kernels are the ``k = 1`` view of the batched multi-sample ones.
+- :mod:`repro.mbf.scalar` — the *scalar engine*: stacked ``(n, c)``
+  min-plus / max-min fixpoints for the zoo's scalar families (SSSP, MSSP,
+  forest fire, SSWP/MSWP/APWP, connectivity-as-hop-counting).
+
+Both vectorized paths are reached uniformly through
+:func:`~repro.mbf.problem.solve_dense`; string-keyed engine selection
+lives in :mod:`repro.api.registry`.
 """
 
 from repro.mbf.algorithm import MBFAlgorithm
-from repro.mbf.engine import iterate, run, run_to_fixpoint
-from repro.mbf import filters, zoo
+from repro.mbf.engine import fixpoint_error, iterate, run, run_to_fixpoint
+from repro.mbf.problem import (
+    FAMILIES,
+    FlatForm,
+    MBFProblem,
+    ScalarForm,
+    solve_dense,
+    solve_reference,
+)
+from repro.mbf import filters, scalar, zoo
 from repro.mbf.dense import BatchedFlatStates, FlatStates
 
 __all__ = [
     "MBFAlgorithm",
+    "MBFProblem",
+    "FAMILIES",
+    "ScalarForm",
+    "FlatForm",
     "iterate",
     "run",
     "run_to_fixpoint",
+    "fixpoint_error",
+    "solve_reference",
+    "solve_dense",
     "filters",
+    "scalar",
     "zoo",
     "FlatStates",
     "BatchedFlatStates",

@@ -15,12 +15,22 @@ from typing import Any, Callable
 
 from repro.algebra.semimodule import Semimodule
 
-__all__ = ["MBFAlgorithm", "min_plus_edge_entry"]
+__all__ = ["MBFAlgorithm", "min_plus_edge_entry", "boolean_edge_entry"]
 
 
 def min_plus_edge_entry(target: int, source: int, weight: float) -> float:
-    """Equation (1.4): the min-plus adjacency entry is the edge weight."""
+    """Equation (1.4): the min-plus adjacency entry is the edge weight.
+
+    The max-min convention (Equation 3.9) happens to coincide: the entry
+    for an existing edge is the weight itself, so the widest-path zoo
+    problems use this default too.
+    """
     return weight
+
+
+def boolean_edge_entry(target: int, source: int, weight: float) -> bool:
+    """Equation (3.28): Boolean adjacency — edges carry 1 regardless of weight."""
+    return True
 
 
 @dataclass

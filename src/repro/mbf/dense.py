@@ -22,10 +22,13 @@ for the equivalence with the reference engine):
 - ``("topk", k, dmax, source_mask)`` — source detection (Example 3.2),
 - ``("le", rank)`` — least-element lists (Definition 7.3).
 
-**Batched engine** (the ensemble hot path): :class:`BatchedFlatStates`
-extends the CSR layout with a *sample* axis — ``k`` independent state
-vectors over the same graph stored back to back, entries keyed by the
-composite segment id ``sample * n + target``.  The batched kernels
+**Batched engine**: :class:`BatchedFlatStates` extends the CSR layout
+with a *sample* axis — ``k`` independent state vectors over the same
+graph stored back to back, entries keyed by the composite segment id
+``sample * n + target``.  The serial kernels (:func:`aggregate`,
+:func:`dense_iteration`, :func:`run_dense`) are thin ``k = 1`` views of
+the batched ones, so there is exactly one kernel stack — and the serial
+LE path inherits the incremental prune/merge fast path below.  The batched kernels
 (:func:`propagate_batched`, :func:`aggregate_batched`,
 :func:`dense_iteration_batched`, :func:`run_dense_batched`) advance all
 ``k`` samples in one NumPy pass; :class:`BatchedLEFilter` carries one rank
@@ -51,6 +54,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.graph.core import Graph
+from repro.mbf.engine import fixpoint_error
 from repro.pram.cost import NULL_LEDGER, CostLedger
 
 INF = math.inf
@@ -58,6 +62,7 @@ INF = math.inf
 __all__ = [
     "FlatStates",
     "BatchedFlatStates",
+    "check_rank",
     "FilterSpec",
     "MinFilter",
     "TopKFilter",
@@ -437,6 +442,20 @@ class TopKFilter(FilterSpec):
         return ok
 
 
+def check_rank(n: int, rank: np.ndarray) -> np.ndarray:
+    """Validate an LE random order: an int64 permutation of ``0..n-1``.
+
+    The one canonical rank validation, shared by the LE drivers
+    (:mod:`repro.frt.lelists`), the congest layer, and ``zoo.le_lists``.
+    """
+    rank = np.asarray(rank, dtype=np.int64)
+    if rank.shape != (n,):
+        raise ValueError(f"rank must have shape ({n},)")
+    if not np.array_equal(np.sort(rank), np.arange(n)):
+        raise ValueError("rank must be a permutation of 0..n-1")
+    return rank
+
+
 class LEFilter(FilterSpec):
     """The least-element filter of Definition 7.3, vectorized.
 
@@ -515,6 +534,16 @@ class BatchedLEFilter(FilterSpec):
 # ---------------------------------------------------------------------------
 
 
+def _as_batch(states: FlatStates) -> BatchedFlatStates:
+    """Zero-copy view of serial states as a ``k = 1`` batch."""
+    return BatchedFlatStates(1, states.n, states.offsets, states.ids, states.dists)
+
+
+def _as_ledgers(ledger: CostLedger) -> list[CostLedger] | None:
+    """Wrap a serial ledger for the batched (per-sample) charging API."""
+    return None if ledger is NULL_LEDGER else [ledger]
+
+
 def propagate(
     states: FlatStates,
     src: np.ndarray,
@@ -562,30 +591,16 @@ def aggregate(
 ) -> FlatStates:
     """Group flat entries by target and apply the filter ``spec``.
 
-    One global lexsort by ``(target, <spec keys>)`` realizes the paper's
-    parallel-merge aggregation (Lemma 2.3): ``O(E log E)`` work at
-    ``O(log E)`` depth for ``E`` entries.
+    One global stable lexsort by ``(target, <spec keys>)`` realizes the
+    paper's parallel-merge aggregation (Lemma 2.3): ``O(E log E)`` work at
+    ``O(log E)`` depth for ``E`` entries.  This is the ``k = 1`` view of
+    :func:`aggregate_batched` — the serial and batched kernel stacks are
+    one implementation.
     """
-    E = int(tgt.size)
-    if E == 0:
-        return FlatStates(n, np.zeros(n + 1, dtype=np.int64), ids[:0], dists[:0])
-    keys = spec.sort_keys(ids, dists, tgt)
-    order = np.lexsort(keys + (tgt,))
-    tgt_s, ids_s, dists_s = tgt[order], ids[order], dists[order]
-    seg_start = np.ones(E, dtype=bool)
-    seg_start[1:] = tgt_s[1:] != tgt_s[:-1]
-    seg_id = np.cumsum(seg_start) - 1
-    keep = spec.keep_mask(tgt_s, ids_s, dists_s, seg_id, n)
-    ledger.sort(E, label="aggregate-sort")
-    ledger.parallel_for(E, 1, 1, label="filter")
-    kept_tgt = tgt_s[keep]
-    kept_ids = ids_s[keep]
-    kept_dists = dists_s[keep]
-    counts = np.zeros(n, dtype=np.int64)
-    uniq, cnt = np.unique(kept_tgt, return_counts=True)
-    counts[uniq] = cnt
-    offsets = np.concatenate([[0], np.cumsum(counts)])
-    return FlatStates(n, offsets, kept_ids, kept_dists)
+    batch = aggregate_batched(
+        1, n, tgt, ids, dists, spec, ledgers=_as_ledgers(ledger)
+    )
+    return batch.as_flat()
 
 
 def dense_iteration(
@@ -599,13 +614,18 @@ def dense_iteration(
     """One filtered MBF iteration ``r^V A x`` on ``G`` (min-plus, module D).
 
     ``weight_scale`` multiplies all edge weights — the oracle uses this for
-    the level matrices ``A_λ = (1+eps)^(Λ-λ) · A_G`` (Lemma 5.1).
+    the level matrices ``A_λ = (1+eps)^(Λ-λ) · A_G`` (Lemma 5.1).  Runs as
+    the ``k = 1`` view of :func:`dense_iteration_batched` (one kernel
+    stack; bit-identical states and ledger charges).
     """
-    src, dst, w = G.directed_edges()
-    if weight_scale != 1.0:
-        w = w * weight_scale
-    tgt, ids, dists = propagate(states, src, dst, w, ledger=ledger)
-    return aggregate(G.n, tgt, ids, dists, spec, ledger=ledger)
+    batch = dense_iteration_batched(
+        G,
+        _as_batch(states),
+        spec,
+        weight_scale=weight_scale,
+        ledgers=_as_ledgers(ledger),
+    )
+    return batch.as_flat()
 
 
 def run_dense(
@@ -626,30 +646,29 @@ def run_dense(
     (default ``n + 1``) — the same cap semantics as
     :func:`repro.mbf.engine.run_to_fixpoint` and
     :meth:`repro.oracle.HOracle.run`.
+
+    The serial driver *is* the ``k = 1`` view of :func:`run_dense_batched`
+    (LE filters additionally take the batched incremental prune/merge
+    path), so there is exactly one kernel stack to maintain.
     """
-    states = x0 if x0 is not None else FlatStates.from_sources(G.n, sources)
-    # Canonicalize the initial vector through the filter (r^V x^(0)).
-    states = aggregate(
-        G.n,
-        np.repeat(np.arange(G.n, dtype=np.int64), states.counts()),
-        states.ids,
-        states.dists,
+    if type(spec) is LEFilter:
+        # Route the serial LE path through the batched incremental kernel
+        # (k = 1): bit-identical lists, iteration counts, and ledger
+        # charges (pinned by the dense-batched parity tests), ~2x faster.
+        # Exact-type check: an LEFilter subclass with overridden behavior
+        # must keep its own sort_keys/keep_mask and take the generic path.
+        spec = BatchedLEFilter(spec.rank[None, :])
+    states, iters = run_dense_batched(
+        G,
         spec,
-        ledger=ledger,
+        1,
+        sources=sources,
+        h=h,
+        x0=None if x0 is None else _as_batch(x0),
+        max_iterations=max_iterations,
+        ledgers=_as_ledgers(ledger),
     )
-    if h is not None:
-        for _ in range(h):
-            states = dense_iteration(G, states, spec, ledger=ledger)
-        return states, h
-    cap = (G.n + 1) if max_iterations is None else max_iterations
-    if cap < 1:
-        raise ValueError("max_iterations must be >= 1")
-    for i in range(cap):
-        nxt = dense_iteration(G, states, spec, ledger=ledger)
-        if nxt.equals(states):
-            return states, i
-        states = nxt
-    raise RuntimeError(f"no fixpoint within {cap} iterations")
+    return states.as_flat(), int(iters[0])
 
 
 # ---------------------------------------------------------------------------
@@ -661,6 +680,8 @@ def _virtual_edges(
     k: int, n: int, src: np.ndarray, dst: np.ndarray, w: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Replicate the directed edge set across ``k`` virtual node blocks."""
+    if k == 1:
+        return src, dst, w
     base = (np.arange(k, dtype=np.int64) * n)[:, None]
     vsrc = (base + src[None, :]).reshape(-1)
     vdst = (base + dst[None, :]).reshape(-1)
@@ -1092,6 +1113,8 @@ def run_dense_batched(
         raise ValueError(
             f"filter batch shape ({spec.k}, {spec.n}) does not match (k={k}, n={n})"
         )
+    if h is not None and h < 0:
+        raise ValueError("h must be non-negative")
     ledger_list = list(ledgers) if ledgers is not None else None
     if ledger_list is not None and len(ledger_list) != k:
         raise ValueError(f"need one ledger per sample ({k}), got {len(ledger_list)}")
@@ -1121,5 +1144,5 @@ def run_dense_batched(
         spec,
         ledger_list,
         cap,
-        error=f"no fixpoint within {cap} iterations",
+        error=fixpoint_error(cap, n, max_iterations),
     )

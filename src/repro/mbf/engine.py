@@ -16,7 +16,26 @@ from typing import Any
 from repro.graph.core import Graph
 from repro.mbf.algorithm import MBFAlgorithm
 
-__all__ = ["iterate", "run", "run_to_fixpoint"]
+__all__ = ["iterate", "run", "run_to_fixpoint", "fixpoint_error"]
+
+
+def fixpoint_error(cap: int, n: int, max_iterations: int | None) -> str:
+    """The no-fixpoint diagnostic shared by every fixpoint driver.
+
+    Definition 2.11 guarantees a (detectable) fixpoint within ``n + 1``
+    iterations for a congruence-compatible filter, so a miss under the
+    default cap points at the filter; a user-supplied cap below ``n + 1``
+    is the more likely culprit and the message says so.
+    """
+    if max_iterations is not None and max_iterations < n + 1:
+        return (
+            f"no fixpoint within {cap} iterations — max_iterations={max_iterations} "
+            f"is below the n + 1 = {n + 1} fixpoint guarantee; the cap, not the "
+            "filter, is the likely cause"
+        )
+    return (
+        f"no fixpoint within {cap} iterations — filter is not congruence-compatible?"
+    )
 
 
 def iterate(G: Graph, algo: MBFAlgorithm, states: list, *, apply_filter: bool = True) -> list:
@@ -65,8 +84,9 @@ def run_to_fixpoint(
     Definition 2.11 notes a fixpoint is reached after at most ``SPD(G) < n``
     iterations; we perform at most ``max_iterations`` iterations (default
     ``n + 1``, enough to both reach and detect any proper fixpoint) and
-    raise if no fixpoint was found within the cap (which would indicate a
-    non-monotone filter bug).
+    raise if no fixpoint was found within the cap — blaming the cap when a
+    user-supplied ``max_iterations`` sits below the ``n + 1`` guarantee,
+    and a non-congruent filter otherwise (see :func:`fixpoint_error`).
 
     Returns ``(states, iterations)`` where ``iterations`` is the number of
     iterations *until* the fixpoint (i.e. the first ``i`` with
@@ -82,6 +102,4 @@ def run_to_fixpoint(
         if algo.states_equal(nxt, states):
             return states, i
         states = nxt
-    raise RuntimeError(
-        f"no fixpoint within {cap} iterations — filter is not congruence-compatible?"
-    )
+    raise RuntimeError(fixpoint_error(cap, G.n, max_iterations))

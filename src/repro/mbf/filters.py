@@ -5,6 +5,19 @@ congruence conditions of Lemma 2.8 for their respective semimodules; the
 test suite verifies this with
 :func:`repro.algebra.laws.check_congruence_on_samples`.
 
+Every filter has a vectorized counterpart in the dense engines (the parity
+suite pins the equivalence on all zoo problems):
+
+======================  ===========================================  ==========
+reference filter        dense counterpart                            paper ref
+======================  ===========================================  ==========
+:func:`identity`        :class:`~repro.mbf.dense.MinFilter`          Ex. 3.5
+:func:`source_detection`  :class:`~repro.mbf.dense.TopKFilter`       Ex. 3.2
+:func:`le_list`         :class:`~repro.mbf.dense.LEFilter`           Def. 7.3
+:func:`distance_range`  ``dmax`` cap of :mod:`repro.mbf.scalar`      Ex. 3.7
+:func:`k_shortest_paths`  — (all-paths family is reference-only)     Eq. 3.22
+======================  ===========================================  ==========
+
 Filters for distance-map states (dicts ``{vertex: distance}``):
 
 - :func:`identity` — no filtering (APSP, Example 3.5),

@@ -1,39 +1,46 @@
-"""The Section-3 zoo: classic algorithms expressed as MBF-like algorithms.
+"""The Section-3 zoo: classic algorithms expressed as MBF-like problems.
 
-Each factory returns a :class:`ZooInstance` bundling the
+Each factory returns an :class:`~repro.mbf.problem.MBFProblem` bundling the
 :class:`~repro.mbf.algorithm.MBFAlgorithm`, the initial state vector
-``x^(0)``, and a ``decode`` function that turns the final state vector into
-a user-facing NumPy answer.  Run with::
+``x^(0)``, a ``decode`` function, the declared *state family*, and (for
+every family but all-paths) a vectorized dense form.  Run through any
+engine — uniformly via the registry::
 
+    from repro.api import solve
     inst = zoo.sssp(G.n, source=0)
-    states = mbf.run(G, inst.algo, inst.x0, h)
-    answer = inst.decode(states)
+    dists, iterations = solve(G, inst)            # engine="auto": dense
+
+or explicitly through the reference engine::
+
+    states, iterations = mbf.run_to_fixpoint(G, inst.algo, inst.x0)
+    dists = inst.decode(states)
 
 Implemented examples (paper reference in parentheses):
 
-====================  ==============  =========================================
-factory               semiring        answer
-====================  ==============  =========================================
-``sssp``              min-plus        h-hop distances to the source (Ex. 3.3)
-``source_detection``  min-plus        (S, h, d, k)-source detection (Ex. 3.2)
-``k_ssp``             min-plus        k closest vertices per node (Ex. 3.4)
-``apsp``              min-plus        all-pairs h-hop distances (Ex. 3.5)
-``mssp``              min-plus        distances to all sources (Ex. 3.6)
-``forest_fire``       min-plus        "fire within distance d?" flag (Ex. 3.7)
-``sswp``              max-min         single-source widest paths (Ex. 3.13)
-``apwp``              max-min         all-pairs widest paths (Ex. 3.14)
-``mswp``              max-min         multi-source widest paths (Ex. 3.15)
-``k_sdp``             all-paths       k shortest v-s path weights (Ex. 3.23)
-``k_dsdp``            all-paths       k distinct shortest weights (Ex. 3.24)
-``connectivity``      Boolean         h-hop reachability (Ex. 3.25)
-====================  ==============  =========================================
+====================  ==============  ==============  =======================
+factory               semiring        family          answer
+====================  ==============  ==============  =======================
+``sssp``              min-plus        min-plus        h-hop distances (Ex. 3.3)
+``source_detection``  min-plus        distance-map    (S, h, d, k)-detection (Ex. 3.2)
+``k_ssp``             min-plus        distance-map    k closest vertices (Ex. 3.4)
+``apsp``              min-plus        distance-map    all-pairs distances (Ex. 3.5)
+``mssp``              min-plus        min-plus        distances to sources (Ex. 3.6)
+``forest_fire``       min-plus        min-plus        "fire within d?" flag (Ex. 3.7)
+``sswp``              max-min         max-min         single-source widest (Ex. 3.13)
+``apwp``              max-min         max-min         all-pairs widest (Ex. 3.14)
+``mswp``              max-min         max-min         multi-source widest (Ex. 3.15)
+``k_sdp``             all-paths       all-paths       k shortest v-s paths (Ex. 3.23)
+``k_dsdp``            all-paths       all-paths       k distinct weights (Ex. 3.24)
+``connectivity``      Boolean         boolean         h-hop reachability (Ex. 3.25)
+``le_lists``          min-plus        distance-map    LE lists (Def. 7.3)
+====================  ==============  ==============  =======================
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Iterable
+import operator
+from typing import Iterable
 
 import numpy as np
 
@@ -45,7 +52,9 @@ from repro.algebra.semimodule import (
     WidthMapModule,
 )
 from repro.mbf import filters
-from repro.mbf.algorithm import MBFAlgorithm
+from repro.mbf.algorithm import MBFAlgorithm, boolean_edge_entry
+from repro.mbf.dense import FlatStates, LEFilter, MinFilter, TopKFilter, check_rank
+from repro.mbf.problem import FlatForm, MBFProblem, ScalarForm
 
 INF = math.inf
 
@@ -63,16 +72,58 @@ __all__ = [
     "k_sdp",
     "k_dsdp",
     "connectivity",
+    "le_lists",
 ]
 
+#: Historical name of the problem record (pre-dating the engine registry).
+ZooInstance = MBFProblem
 
-@dataclass
-class ZooInstance:
-    """An MBF-like algorithm together with its initialization and decoder."""
 
-    algo: MBFAlgorithm
-    x0: list
-    decode: Callable[[list], np.ndarray]
+# ---------------------------------------------------------------------------
+# Parameter validation helpers
+# ---------------------------------------------------------------------------
+
+
+def _check_vertex(n: int, v, label: str) -> int:
+    v = operator.index(v)  # rejects floats instead of silently truncating
+    if not 0 <= v < n:
+        raise ValueError(f"{label} {v} out of range for n={n}")
+    return v
+
+
+def _check_sources(n: int, sources: Iterable[int], label: str = "source") -> list[int]:
+    """Validated, deduplicated, sorted source list.
+
+    Duplicates are dropped — a repeated source must not occupy two of the
+    k slots of a ``(dist, source)`` cut.
+    """
+    return sorted({_check_vertex(n, s, label) for s in sources})
+
+
+def _decode_distance_matrix(n: int):
+    """Decoder for distance-map states: the ``(n, n)`` matrix, inf = absent."""
+
+    def decode(states: list) -> np.ndarray:
+        out = np.full((n, n), INF)
+        for v, st in enumerate(states):
+            for w, d in st.items():
+                out[v, w] = d
+        return out
+
+    return decode
+
+
+def _decode_width_matrix(n: int):
+    """Decoder for width-map states: the ``(n, n)`` matrix, 0 = absent."""
+
+    def decode(states: list) -> np.ndarray:
+        out = np.zeros((n, n))
+        for v, st in enumerate(states):
+            for w, width in st.items():
+                out[v, w] = width
+        return out
+
+    return decode
 
 
 # ---------------------------------------------------------------------------
@@ -80,48 +131,64 @@ class ZooInstance:
 # ---------------------------------------------------------------------------
 
 
-def sssp(n: int, source: int) -> ZooInstance:
+def sssp(n: int, source: int) -> MBFProblem:
     """Single-Source Shortest Paths (Example 3.3): ``M = S_min,+``, r = id."""
+    source = _check_vertex(n, source, "source")
     module = SemiringAsModule(MinPlus())
     x0 = [0.0 if v == source else INF for v in range(n)]
 
     def decode(states: list) -> np.ndarray:
         return np.array(states, dtype=np.float64)
 
-    return ZooInstance(MBFAlgorithm(module, name="SSSP"), x0, decode)
+    init = np.full((n, 1), INF)
+    init[source, 0] = 0.0
+    return MBFProblem(
+        MBFAlgorithm(module, name="SSSP"),
+        x0,
+        decode,
+        family="min-plus",
+        dense_form=ScalarForm("min-plus", init, decode=lambda X: X[:, 0].copy()),
+    )
 
 
 def source_detection(
     n: int, sources: Iterable[int], k: int, dmax: float = INF
-) -> ZooInstance:
+) -> MBFProblem:
     """(S, h, d, k)-source detection (Example 3.2).
 
     Decodes to an ``(n, n)`` matrix with ``dist`` for detected (node, source)
     pairs and ``inf`` elsewhere.
     """
     module = DistanceMapModule(n)
-    src = sorted(int(s) for s in sources)
+    src = _check_sources(n, sources)
     r = filters.source_detection(src, k, dmax)
-    x0 = [{v: 0.0} if v in set(src) else {} for v in range(n)]
-
-    def decode(states: list) -> np.ndarray:
-        out = np.full((n, n), INF)
-        for v, st in enumerate(states):
-            for w, d in st.items():
-                out[v, w] = d
-        return out
-
-    return ZooInstance(
-        MBFAlgorithm(module, filter=r, name=f"source-detection(k={k})"), x0, decode
+    src_set = set(src)
+    x0 = [{v: 0.0} if v in src_set else {} for v in range(n)]
+    decode = _decode_distance_matrix(n)
+    if len(src) == n:
+        mask = None  # every vertex allowed: skip the mask gather
+    else:
+        mask = np.zeros(n, dtype=bool)
+        mask[src] = True
+    return MBFProblem(
+        MBFAlgorithm(module, filter=r, name=f"source-detection(k={k})"),
+        x0,
+        decode,
+        family="distance-map",
+        dense_form=FlatForm(
+            FlatStates.from_sources(n, src),
+            TopKFilter(k, dmax, mask),
+            decode=lambda flat: flat.to_matrix(),
+        ),
     )
 
 
-def k_ssp(n: int, k: int) -> ZooInstance:
+def k_ssp(n: int, k: int) -> MBFProblem:
     """k-Source Shortest Paths = (V, h, inf, k)-source detection (Ex. 3.4)."""
     return source_detection(n, range(n), k)
 
 
-def apsp(n: int) -> ZooInstance:
+def apsp(n: int) -> MBFProblem:
     """All-Pairs Shortest Paths = (V, h, inf, n)-source detection (Ex. 3.5).
 
     The filter degenerates to the identity; decode yields the full ``(n, n)``
@@ -129,39 +196,82 @@ def apsp(n: int) -> ZooInstance:
     """
     module = DistanceMapModule(n)
     x0 = [{v: 0.0} for v in range(n)]
+    return MBFProblem(
+        MBFAlgorithm(module, name="APSP"),
+        x0,
+        _decode_distance_matrix(n),
+        family="distance-map",
+        dense_form=FlatForm(
+            FlatStates.from_sources(n),
+            MinFilter(),
+            decode=lambda flat: flat.to_matrix(),
+        ),
+    )
 
-    def decode(states: list) -> np.ndarray:
+
+def mssp(n: int, sources: Iterable[int]) -> MBFProblem:
+    """Multi-Source Shortest Paths = (S, h, inf, |S|)-source detection (Ex. 3.6).
+
+    With ``k = |S|`` and no distance cap the detection filter keeps every
+    source entry, so the states are |S| independent scalar distances — the
+    problem is declared scalar min-plus and runs as ``(n, |S|)`` stacked
+    column fixpoints on the dense engine.
+    """
+    src = _check_sources(n, sources)
+    module = DistanceMapModule(n)
+    src_set = set(src)
+    x0 = [{v: 0.0} if v in src_set else {} for v in range(n)]
+    decode = _decode_distance_matrix(n)
+    cols = np.asarray(src, dtype=np.int64)
+    init = np.full((n, cols.size), INF)
+    init[cols, np.arange(cols.size)] = 0.0
+
+    def decode_dense(X: np.ndarray) -> np.ndarray:
         out = np.full((n, n), INF)
-        for v, st in enumerate(states):
-            for w, d in st.items():
-                out[v, w] = d
+        out[:, cols] = X
         return out
 
-    return ZooInstance(MBFAlgorithm(module, name="APSP"), x0, decode)
+    return MBFProblem(
+        MBFAlgorithm(module, name=f"MSSP(|S|={len(src)})"),
+        x0,
+        decode,
+        family="min-plus",
+        dense_form=ScalarForm("min-plus", init, decode=decode_dense),
+    )
 
 
-def mssp(n: int, sources: Iterable[int]) -> ZooInstance:
-    """Multi-Source Shortest Paths = (S, h, inf, |S|)-source detection (Ex. 3.6)."""
-    src = sorted(int(s) for s in sources)
-    return source_detection(n, src, len(src))
-
-
-def forest_fire(n: int, burning: Iterable[int], dmax: float) -> ZooInstance:
+def forest_fire(n: int, burning: Iterable[int], dmax: float) -> MBFProblem:
     """Forest fire detection (Example 3.7): is a burning node within ``dmax``?
 
     Anonymous variant: ``M = S_min,+`` with the range filter; decodes to a
     Boolean array.
     """
+    if not dmax > 0:
+        raise ValueError(f"forest fire needs a positive detection radius, got dmax={dmax}")
+    burning_sorted = _check_sources(n, burning, "burning node")
+    fire = set(burning_sorted)
     module = SemiringAsModule(MinPlus())
     r = filters.distance_range(dmax)
-    fire = set(int(b) for b in burning)
     x0 = [0.0 if v in fire else INF for v in range(n)]
 
     def decode(states: list) -> np.ndarray:
-        return np.array([s <= dmax for s in states], dtype=bool)
+        # s != INF guards the degenerate dmax=inf instance: a vertex with
+        # no reachable burning node (distance inf) must not report a fire.
+        return np.array([s != INF and s <= dmax for s in states], dtype=bool)
 
-    return ZooInstance(
-        MBFAlgorithm(module, filter=r, name=f"forest-fire(d={dmax})"), x0, decode
+    init = np.full((n, 1), INF)
+    init[burning_sorted, 0] = 0.0
+    return MBFProblem(
+        MBFAlgorithm(module, filter=r, name=f"forest-fire(d={dmax})"),
+        x0,
+        decode,
+        family="min-plus",
+        dense_form=ScalarForm(
+            "min-plus",
+            init,
+            decode=lambda X: np.isfinite(X[:, 0]) & (X[:, 0] <= dmax),
+            dmax=dmax,
+        ),
     )
 
 
@@ -172,18 +282,27 @@ def forest_fire(n: int, burning: Iterable[int], dmax: float) -> ZooInstance:
 # ---------------------------------------------------------------------------
 
 
-def sswp(n: int, source: int) -> ZooInstance:
+def sswp(n: int, source: int) -> MBFProblem:
     """Single-Source Widest Paths (Example 3.13)."""
+    source = _check_vertex(n, source, "source")
     module = SemiringAsModule(MaxMin())
     x0 = [INF if v == source else 0.0 for v in range(n)]
 
     def decode(states: list) -> np.ndarray:
         return np.array(states, dtype=np.float64)
 
-    return ZooInstance(MBFAlgorithm(module, name="SSWP"), x0, decode)
+    init = np.zeros((n, 1))
+    init[source, 0] = INF
+    return MBFProblem(
+        MBFAlgorithm(module, name="SSWP"),
+        x0,
+        decode,
+        family="max-min",
+        dense_form=ScalarForm("max-min", init, decode=lambda X: X[:, 0].copy()),
+    )
 
 
-def apwp(n: int) -> ZooInstance:
+def apwp(n: int) -> MBFProblem:
     """All-Pairs Widest Paths (Example 3.14): ``M = W``, r = id.
 
     Decodes to the ``(n, n)`` h-hop width matrix (0 = unreachable,
@@ -192,30 +311,44 @@ def apwp(n: int) -> ZooInstance:
     module = WidthMapModule(n)
     x0 = [{v: INF} for v in range(n)]
 
-    def decode(states: list) -> np.ndarray:
+    def init() -> np.ndarray:
+        # Lazy: the (n, n) matrix is only materialized by the dense engine.
         out = np.zeros((n, n))
-        for v, st in enumerate(states):
-            for w, width in st.items():
-                out[v, w] = width
+        np.fill_diagonal(out, INF)
         return out
 
-    return ZooInstance(MBFAlgorithm(module, name="APWP"), x0, decode)
+    return MBFProblem(
+        MBFAlgorithm(module, name="APWP"),
+        x0,
+        _decode_width_matrix(n),
+        family="max-min",
+        dense_form=ScalarForm("max-min", init, decode=lambda X: X.copy()),
+    )
 
 
-def mswp(n: int, sources: Iterable[int]) -> ZooInstance:
+def mswp(n: int, sources: Iterable[int]) -> MBFProblem:
     """Multi-Source Widest Paths (Example 3.15)."""
+    src = _check_sources(n, sources)
     module = WidthMapModule(n)
-    src = set(int(s) for s in sources)
-    x0 = [{v: INF} if v in src else {} for v in range(n)]
+    src_set = set(src)
+    x0 = [{v: INF} if v in src_set else {} for v in range(n)]
+    decode = _decode_width_matrix(n)
+    cols = np.asarray(src, dtype=np.int64)
+    init = np.zeros((n, cols.size))
+    init[cols, np.arange(cols.size)] = INF
 
-    def decode(states: list) -> np.ndarray:
+    def decode_dense(X: np.ndarray) -> np.ndarray:
         out = np.zeros((n, n))
-        for v, st in enumerate(states):
-            for w, width in st.items():
-                out[v, w] = width
+        out[:, cols] = X
         return out
 
-    return ZooInstance(MBFAlgorithm(module, name="MSWP"), x0, decode)
+    return MBFProblem(
+        MBFAlgorithm(module, name=f"MSWP(|S|={len(src)})"),
+        x0,
+        decode,
+        family="max-min",
+        dense_form=ScalarForm("max-min", init, decode=decode_dense),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -223,7 +356,10 @@ def mswp(n: int, sources: Iterable[int]) -> ZooInstance:
 # ---------------------------------------------------------------------------
 
 
-def _all_paths_instance(n: int, k: int, sink: int, distinct: bool) -> ZooInstance:
+def _all_paths_instance(n: int, k: int, sink: int, distinct: bool) -> MBFProblem:
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    sink = _check_vertex(n, sink, "sink")
     semiring = AllPaths(n)
     module = SemiringAsModule(semiring)
     r = filters.k_shortest_paths(k, sink, distinct=distinct)
@@ -243,12 +379,15 @@ def _all_paths_instance(n: int, k: int, sink: int, distinct: bool) -> ZooInstanc
         return out
 
     name = f"k-{'D' if distinct else ''}SDP(k={k}, s={sink})"
-    return ZooInstance(
-        MBFAlgorithm(module, filter=r, edge_entry=edge_entry, name=name), x0, decode
+    return MBFProblem(
+        MBFAlgorithm(module, filter=r, edge_entry=edge_entry, name=name),
+        x0,
+        decode,
+        family="all-paths",
     )
 
 
-def k_sdp(n: int, k: int, sink: int) -> ZooInstance:
+def k_sdp(n: int, k: int, sink: int) -> MBFProblem:
     """k-Shortest Distance Problem (Definition 3.21 / Example 3.23).
 
     Decodes, per vertex ``v``, the sorted ``(weight, path)`` list of the
@@ -264,7 +403,7 @@ def k_sdp(n: int, k: int, sink: int) -> ZooInstance:
     return _all_paths_instance(n, k, sink, distinct=False)
 
 
-def k_dsdp(n: int, k: int, sink: int) -> ZooInstance:
+def k_dsdp(n: int, k: int, sink: int) -> MBFProblem:
     """k-Distinct-Shortest Distance Problem (Example 3.24)."""
     return _all_paths_instance(n, k, sink, distinct=True)
 
@@ -274,17 +413,19 @@ def k_dsdp(n: int, k: int, sink: int) -> ZooInstance:
 # ---------------------------------------------------------------------------
 
 
-def connectivity(n: int) -> ZooInstance:
+def connectivity(n: int) -> MBFProblem:
     """h-hop connectivity (Example 3.25): ``S = B``, states = vertex sets.
 
     Decodes to a Boolean ``(n, n)`` matrix: ``out[v, w]`` iff a ``v``-``w``
     path with at most ``h`` hops exists.  Works on disconnected graphs.
+
+    Dense form: Equation (3.28) puts 1 on every edge, so reachability is
+    hop counting — the min-plus kernel over unit weights, decoded through
+    ``isfinite``.  A hop-count entry is finite after iteration ``i`` iff an
+    ``≤ i``-hop path exists and never changes once finite, so the fixpoint
+    (and its iteration count) coincides with the Boolean one.
     """
     module = SetModule(n)
-
-    def edge_entry(target: int, source: int, weight: float) -> bool:
-        return True  # Equation (3.28): edges carry 1 regardless of weight.
-
     x0 = [frozenset([v]) for v in range(n)]
 
     def decode(states: list) -> np.ndarray:
@@ -294,6 +435,65 @@ def connectivity(n: int) -> ZooInstance:
                 out[v, w] = True
         return out
 
-    return ZooInstance(
-        MBFAlgorithm(module, edge_entry=edge_entry, name="connectivity"), x0, decode
+    def init() -> np.ndarray:
+        # Lazy: the (n, n) matrix is only materialized by the dense engine.
+        out = np.full((n, n), INF)
+        np.fill_diagonal(out, 0.0)
+        return out
+
+    return MBFProblem(
+        MBFAlgorithm(module, edge_entry=boolean_edge_entry, name="connectivity"),
+        x0,
+        decode,
+        family="boolean",
+        dense_form=ScalarForm(
+            "min-plus", init, decode=lambda X: np.isfinite(X), unit_weights=True
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Distance-map family: LE lists (Section 7) as "just another zoo problem"
+# ---------------------------------------------------------------------------
+
+
+def le_lists(n: int, rank: np.ndarray) -> MBFProblem:
+    """Least-element lists w.r.t. the random order ``rank`` (Definition 7.3).
+
+    The FRT pipeline's workhorse query, expressed as an ordinary zoo
+    problem: distance-map semimodule + LE filter.  Decodes to the
+    canonical :class:`~repro.mbf.dense.FlatStates` (entries in ascending
+    ``(dist, rank)`` order) on both engines, so decoded outputs are
+    directly comparable via :meth:`FlatStates.equals`.
+    """
+    rank = check_rank(n, rank)
+    module = DistanceMapModule(n)
+    r = filters.le_list(rank)
+    x0: list = [{v: 0.0} for v in range(n)]
+
+    def decode(states: list) -> FlatStates:
+        counts = np.zeros(n, dtype=np.int64)
+        ids_parts: list[int] = []
+        dist_parts: list[float] = []
+        for v, d in enumerate(states):
+            items = sorted(d.items(), key=lambda kv: (kv[1], rank[kv[0]]))
+            counts[v] = len(items)
+            ids_parts.extend(w for w, _ in items)
+            dist_parts.extend(val for _, val in items)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return FlatStates(
+            n,
+            offsets,
+            np.array(ids_parts, dtype=np.int64),
+            np.array(dist_parts, dtype=np.float64),
+        )
+
+    return MBFProblem(
+        MBFAlgorithm(module, filter=r, name="LE-lists"),
+        x0,
+        decode,
+        family="distance-map",
+        dense_form=FlatForm(
+            FlatStates.from_sources(n), LEFilter(rank), decode=lambda flat: flat
+        ),
     )

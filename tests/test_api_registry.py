@@ -1,15 +1,25 @@
-"""The string-keyed MBF backend registry of repro.api."""
+"""The string-keyed, capability-based MBF engine registry of repro.api."""
 
 import numpy as np
 import pytest
 
 from repro.api import (
     MBFBackend,
+    MBFEngine,
+    MBFProblem,
     available_backends,
+    available_engines,
+    engines_for,
     generators as gen,
     get_backend,
+    get_engine,
+    problems,
     register_backend,
+    register_engine,
+    resolve_engine,
+    solve,
     unregister_backend,
+    unregister_engine,
 )
 from repro.mbf.dense import FlatStates
 
@@ -92,6 +102,205 @@ class TestBackendEquivalence:
         for name in ("dense", "reference"):
             with pytest.raises(ValueError):
                 get_backend(name).le_lists(g, bad)
+
+
+class TestEngineRegistry:
+    def test_builtin_engines_and_capabilities(self):
+        assert set(available_engines()) >= {"dense", "dense-batched", "reference"}
+        dense = get_engine("dense")
+        ref = get_engine("reference")
+        assert "distance-map" in dense.families and "min-plus" in dense.families
+        assert "all-paths" not in dense.families
+        assert "all-paths" in ref.families
+        assert engines_for("all-paths") == ("reference",)
+        assert set(engines_for("max-min")) >= {"dense", "reference"}
+        with pytest.raises(ValueError, match="unknown state family"):
+            engines_for("minplus")  # typo'd family names fail loudly
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            MBFEngine(name="", solve=lambda *a, **k: None, families=("min-plus",))
+        with pytest.raises(ValueError, match="families"):
+            MBFEngine(name="x", solve=lambda *a, **k: None)  # solve without families
+        with pytest.raises(ValueError, match="families"):
+            MBFEngine(name="x", families=("min-plus",), le_lists=lambda *a, **k: None)
+        with pytest.raises(ValueError, match="capability"):
+            MBFEngine(name="x")
+        with pytest.raises(ValueError, match="serial le_lists"):
+            # batch-only engines are unreachable from every driver surface
+            MBFEngine(name="x", le_lists_batch=lambda *a, **k: None)
+        with pytest.raises(ValueError, match="unknown state families"):
+            # typo'd family names must fail loudly, not register unselectably
+            MBFEngine(name="x", solve=lambda *a, **k: None, families=("min_plus",))
+        with pytest.raises(TypeError, match="callable"):
+            MBFEngine(name="x", solve=7, families=("min-plus",))
+        with pytest.raises(TypeError):
+            register_engine("dense")
+
+    def test_register_resolve_unregister_custom_engine(self):
+        calls = []
+
+        def my_solve(G, problem, *, h=None, ledger=None, **kw):
+            calls.append(problem.name)
+            return "custom", 0
+
+        eng = MBFEngine(name="test-custom", solve=my_solve, families=("all-paths",))
+        try:
+            register_engine(eng)
+            assert get_engine("test-custom") is eng
+            with pytest.raises(ValueError, match="already registered"):
+                register_engine(eng)
+            # Explicit selection dispatches to the custom driver...
+            g = gen.path_graph(4)
+            out, it = solve(g, problems.k_sdp(4, 1, sink=0), engine="test-custom")
+            assert out == "custom" and calls == ["k-SDP(k=1, s=0)"]
+            # ...but auto still prefers the built-in preference order.
+            assert resolve_engine(problems.k_sdp(4, 1, sink=0)).name == "reference"
+            # Engines without LE drivers are not backends.
+            assert "test-custom" not in available_backends()
+            with pytest.raises(KeyError, match="unknown MBF backend"):
+                get_backend("test-custom")
+        finally:
+            unregister_engine("test-custom")
+        assert "test-custom" not in available_engines()
+        with pytest.raises(KeyError):
+            unregister_engine("test-custom")
+
+    def test_solve_only_engine_name_not_free_for_backends(self):
+        """A natively registered solve-only engine is another plugin's
+        slot: register_backend must not silently graft onto it."""
+        register_engine(
+            MBFEngine(
+                name="test-solve-only",
+                solve=lambda *a, **k: ("x", 0),
+                families=("all-paths",),
+                description="plugin A engine",
+            )
+        )
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend(
+                    MBFBackend(name="test-solve-only", le_lists=lambda *a, **k: (None, 0))
+                )
+            assert get_engine("test-solve-only").description == "plugin A engine"
+        finally:
+            unregister_engine("test-solve-only")
+
+    def test_backend_overwrite_takes_both_le_drivers_verbatim(self):
+        """Overwriting takes the backend's LE drivers exactly as given —
+        inheriting the old batched driver next to a new serial one would
+        silently pair two different engines in serial vs batched mode;
+        a missing batched driver must instead fail loudly there."""
+        orig = get_backend("dense")
+        try:
+            register_backend(MBFBackend(name="dense", le_lists=orig.le_lists), overwrite=True)
+            assert get_engine("dense").le_lists_batch is None
+            assert get_backend("dense").le_lists_batch is None
+        finally:
+            register_backend(orig, overwrite=True)
+        assert get_backend("dense") is orig
+        assert get_engine("dense").le_lists_batch is orig.le_lists_batch
+
+    def test_minimal_solve_signature_cap_error(self):
+        """A driver with the minimal documented signature works without a
+        cap and fails with a capability message when one is supplied."""
+
+        def minimal(G, problem, *, h=None, ledger=None):
+            return "ok", 0
+
+        register_engine(MBFEngine(name="test-minimal", solve=minimal, families=("min-plus",)))
+        try:
+            g = gen.path_graph(4)
+            assert solve(g, problems.sssp(4, 0), engine="test-minimal") == ("ok", 0)
+            with pytest.raises(TypeError, match="does not accept"):
+                solve(g, problems.sssp(4, 0), engine="test-minimal", max_iterations=3)
+        finally:
+            unregister_engine("test-minimal")
+
+    def test_explicit_engine_capability_mismatch(self):
+        g = gen.path_graph(4)
+        with pytest.raises(ValueError, match="cannot solve"):
+            solve(g, problems.k_sdp(4, 1, sink=0), engine="dense")
+        with pytest.raises(KeyError, match="unknown MBF engine"):
+            solve(g, problems.sssp(4, 0), engine="nope")
+
+    def test_explicit_engine_requires_dense_form(self):
+        """Pinning a dense engine on a formless problem fails at resolve
+        time (capability check), not deep inside the driver."""
+        inst = problems.sssp(4, 0)
+        stripped = MBFProblem(inst.algo, inst.x0, inst.decode, family=inst.family)
+        with pytest.raises(ValueError, match="dense form"):
+            resolve_engine(stripped, "dense")
+
+    def test_backend_overwrite_keeps_solve_capability(self):
+        """A legacy register_backend(..., overwrite=True) round-trip on a
+        built-in name swaps the LE drivers but must not strip the engine's
+        solve capability."""
+        orig = get_backend("dense")
+        calls = []
+
+        def wrapped(G, rank, **kw):
+            calls.append(1)
+            return orig.le_lists(G, rank, **kw)
+
+        g = gen.path_graph(5)
+        try:
+            register_backend(
+                MBFBackend(name="dense", le_lists=wrapped), overwrite=True
+            )
+            lists, _ = get_backend("dense").le_lists(g, np.arange(5))
+            assert calls  # the instrumented driver is live...
+            out, _ = solve(g, problems.sssp(5, 0), engine="dense")
+            assert np.array_equal(out, [0.0, 1.0, 2.0, 3.0, 4.0])  # ...solve intact
+            # the engine's provenance fields survive a blank-field backend
+            assert get_engine("dense").module == "repro.mbf.dense"
+            assert get_engine("dense").description
+        finally:
+            register_backend(orig, overwrite=True)
+        assert get_backend("dense").le_lists is orig.le_lists
+        assert get_engine("dense").solve is not None
+
+    def test_unregister_backend_keeps_solve_engine(self):
+        """unregister_backend removes the LE view; a solve driver on the
+        same record survives (LE-only engines are removed entirely)."""
+
+        def my_solve(G, problem, *, h=None, ledger=None, **kw):
+            return "x", 0
+
+        register_engine(
+            MBFEngine(
+                name="test-both",
+                solve=my_solve,
+                families=("all-paths",),
+                le_lists=lambda G, r, **kw: (None, 0),
+            )
+        )
+        try:
+            assert "test-both" in available_backends()
+            unregister_backend("test-both")
+            assert "test-both" not in available_backends()
+            assert "test-both" in available_engines()  # solve survives
+            with pytest.raises(KeyError, match="unknown MBF backend"):
+                get_backend("test-both")
+            assert get_engine("test-both").solve is my_solve
+            # The freed name accepts a fresh backend registration (no
+            # overwrite needed — the legacy unregister/register round-trip)
+            # and the solve capability merges back in.
+            fresh = MBFBackend(name="test-both", le_lists=lambda G, r, **kw: (None, 1))
+            register_backend(fresh)
+            assert get_backend("test-both") is fresh
+            assert get_engine("test-both").solve is my_solve
+        finally:
+            unregister_engine("test-both")
+
+    def test_backend_shim_projects_engine_record(self):
+        """get_backend is a deprecated, identity-stable view over engines."""
+        dense = get_engine("dense")
+        view = get_backend("dense")
+        assert view.le_lists is dense.le_lists
+        assert view.le_lists_batch is dense.le_lists_batch
+        assert view.description == dense.description
+        assert get_backend("dense") is view  # cached: stable identity
 
 
 class TestBatchedDrivers:

@@ -125,6 +125,22 @@ class TestFixpoint:
         with pytest.raises(RuntimeError, match="no fixpoint within 5"):
             run_to_fixpoint(g, inst.algo, inst.x0, max_iterations=5)
 
+    def test_low_cap_failure_blames_the_cap(self):
+        """A user-supplied cap below the n + 1 guarantee is the likely cause
+        of a missed fixpoint — the error must say so instead of accusing
+        the (congruence-compatible) filter."""
+        g = gen.path_graph(6)
+        inst = zoo.sssp(6, 0)
+        with pytest.raises(RuntimeError, match="the cap, not the filter"):
+            run_to_fixpoint(g, inst.algo, inst.x0, max_iterations=3)
+        # The default cap (n + 1) can only be missed by a broken filter:
+        # that failure keeps blaming congruence-compatibility.
+        from repro.mbf.engine import fixpoint_error
+
+        assert "congruence" in fixpoint_error(7, 6, None)
+        assert "congruence" in fixpoint_error(8, 6, 8)
+        assert "the cap" in fixpoint_error(5, 6, 5)
+
     def test_cap_must_be_positive(self):
         g = gen.path_graph(3)
         inst = zoo.sssp(3, 0)

@@ -139,6 +139,14 @@ class TestForestFire:
         states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
         assert not inst.decode(states).any()
 
+    def test_unreachable_fire_with_infinite_radius(self):
+        # dmax=inf degenerates to reachability: an isolated vertex must
+        # not report a fire (inf <= inf used to decode to True).
+        g = Graph.from_edge_list(3, [(0, 1, 1.0)])
+        inst = zoo.forest_fire(3, burning=[0], dmax=INF)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        assert inst.decode(states).tolist() == [True, True, False]
+
 
 class TestWidestPaths:
     def test_sswp_matches_mst_ground_truth(self, small_graphs):
@@ -237,6 +245,68 @@ class TestKSDP:
         out = dsdp.decode(s2)[0]
         weights = [w for w, _ in out]
         assert len(weights) == len(set(weights))  # distinct weights only
+
+
+class TestParameterValidation:
+    """Zoo factories reject out-of-range / degenerate instance parameters."""
+
+    def test_sssp_sswp_source_range(self):
+        for factory in (zoo.sssp, zoo.sswp):
+            with pytest.raises(ValueError, match="out of range"):
+                factory(5, 5)
+            with pytest.raises(ValueError, match="out of range"):
+                factory(5, -1)
+            with pytest.raises(TypeError):
+                factory(5, 1.7)  # no silent truncation of float ids
+
+    def test_multi_source_range(self):
+        for factory in (
+            lambda n, s: zoo.source_detection(n, s, k=1),
+            zoo.mssp,
+            zoo.mswp,
+        ):
+            with pytest.raises(ValueError, match="out of range"):
+                factory(5, [0, 7])
+
+    def test_sources_deduplicated(self):
+        # A duplicated source must not occupy two of the k slots: with
+        # S = {0, 0, 4} and k = 2, node 2 (equidistant from both) must
+        # detect *both* real sources, not 0 twice.
+        g = gen.path_graph(5)
+        inst = zoo.source_detection(5, [0, 0, 4], k=2)
+        states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
+        out = inst.decode(states)
+        assert out[2, 0] == 2.0 and out[2, 4] == 2.0
+        # MSSP's k = |S| is computed after deduplication.
+        dup = zoo.mssp(5, [0, 4, 4, 0])
+        nodup = zoo.mssp(5, [0, 4])
+        s1, _ = run_to_fixpoint(g, dup.algo, dup.x0)
+        s2, _ = run_to_fixpoint(g, nodup.algo, nodup.x0)
+        assert np.array_equal(dup.decode(s1), nodup.decode(s2))
+        # MSWP dense columns follow the deduplicated source list too.
+        assert zoo.mswp(5, [4, 0, 4]).dense_form.init.shape == (5, 2)
+
+    def test_k_requires_at_least_one(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            zoo.k_ssp(4, 0)
+        for factory in (zoo.k_sdp, zoo.k_dsdp):
+            with pytest.raises(ValueError, match="k must be >= 1"):
+                factory(4, 0, sink=1)
+        with pytest.raises(ValueError, match="out of range"):
+            zoo.k_sdp(4, 1, sink=4)
+
+    def test_forest_fire_requires_positive_radius(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="positive detection radius"):
+                zoo.forest_fire(4, [0], dmax=bad)
+        with pytest.raises(ValueError, match="out of range"):
+            zoo.forest_fire(4, [4], dmax=1.0)
+
+    def test_le_lists_requires_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            zoo.le_lists(4, np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError, match="rank must"):
+            zoo.le_lists(4, np.arange(5))
 
 
 class TestConnectivity:
