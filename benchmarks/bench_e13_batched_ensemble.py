@@ -11,7 +11,13 @@ propagate/lexsort sweeps over the same graph.
 
 Measured: wall-clock seconds and ensemble throughput (trees/second) of
 ``mode="serial"`` vs ``mode="batched"`` on the ``"dense"`` direct backend
-across ``n`` and ``k``, plus the oracle-backed path at one size.
+across ``n`` and ``k``, plus the oracle-backed path at one size, plus the
+**lists-vs-trees stage split** (``test_e13_tree_stage_split``): with the
+LE-list stage batched since PR 2, the Lemma 7.2 tree construction was the
+last per-sample Python loop — the split times the batched LE-list pass,
+the serial ``build_frt_tree`` loop, and the fused
+:func:`~repro.frt.forest.build_frt_forest` pass, and asserts the forest
+build beats the serial per-sample loop ≥ 3x at ``n=1024, k=16``.
 
 **Baseline note (problem-centric engine API PR):** the serial loop now
 routes every LE-list fixpoint through the *same* incremental prune/merge
@@ -38,6 +44,8 @@ from repro.api import (
     PipelineConfig,
     generators as gen,
 )
+from repro.frt import build_frt_forest, build_frt_tree
+from repro.frt.lelists import compute_le_lists_batch
 
 
 def _time_ensemble(g, cfg, k, seed, mode):
@@ -91,6 +99,77 @@ def test_e13_dense_ensemble_throughput(benchmark, n, k, assert_speedup):
         assert speedup >= assert_speedup, (
             f"batched ensemble only {speedup:.2f}x the (incremental-kernel) "
             f"serial loop at n={n}, k={k} (floor {assert_speedup}x)"
+        )
+
+
+@pytest.mark.parametrize(
+    "n,k,assert_speedup",
+    [
+        (128, 4, None),  # CI smoke size (keeps the JSON artifact's fields)
+        (1024, 16, 3.0),  # the forest must beat the serial tree loop >= 3x
+    ],
+    ids=lambda v: str(v),
+)
+def test_e13_tree_stage_split(benchmark, n, k, assert_speedup):
+    """Lists-vs-trees stage split of the batched ensemble pipeline.
+
+    Times the two stages separately: the fused multi-sample LE-list pass,
+    then tree construction both ways — the serial per-sample
+    ``build_frt_tree`` loop (the pre-forest hot-path tail) and the fused
+    ``build_frt_forest`` pass.  Parity of all per-sample structure arrays
+    is asserted alongside the speedup floor.
+    """
+    g = gen.random_graph(n, 3 * n, rng=24)
+    rng = np.random.default_rng(25)
+    ranks = np.stack([rng.permutation(n) for _ in range(k)])
+    betas = rng.uniform(1.0, 2.0, size=k)
+    wmin, _ = g.weight_bounds()
+
+    t0 = time.perf_counter()
+    lists, _ = compute_le_lists_batch(g, ranks)
+    lists_s = time.perf_counter() - t0
+
+    # Best-of-3 on both sides: the floor assertion compares the two
+    # timings directly, so a single noisy round must not fail it.
+    serial_trees_s = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        serial_trees = [
+            build_frt_tree(lists.sample_states(s), ranks[s], betas[s], wmin)
+            for s in range(k)
+        ]
+        serial_trees_s = min(serial_trees_s, time.perf_counter() - t0)
+
+    def run_forest():
+        best, forest = np.inf, None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            forest = build_frt_forest(lists, ranks, betas, wmin)
+            best = min(best, time.perf_counter() - t0)
+        return best, forest
+
+    forest_s, forest = benchmark.pedantic(run_forest, rounds=1, iterations=1)
+    for s, want in enumerate(serial_trees):
+        got = forest.tree(s)
+        assert np.array_equal(got.level_ids, want.level_ids)
+        assert np.array_equal(got.parent, want.parent)
+        assert np.array_equal(got.node_leading, want.node_leading)
+    speedup = serial_trees_s / forest_s
+    benchmark.extra_info.update(
+        n=n,
+        m=g.m,
+        k=k,
+        lists_seconds=lists_s,
+        serial_trees_seconds=serial_trees_s,
+        forest_seconds=forest_s,
+        tree_stage_speedup=speedup,
+        serial_tree_stage_fraction=serial_trees_s / (lists_s + serial_trees_s),
+        forest_tree_stage_fraction=forest_s / (lists_s + forest_s),
+    )
+    if assert_speedup is not None:
+        assert speedup >= assert_speedup, (
+            f"forest build only {speedup:.2f}x the serial per-sample tree "
+            f"loop at n={n}, k={k} (floor {assert_speedup}x)"
         )
 
 

@@ -80,6 +80,7 @@ from repro.mbf.problem import FAMILIES, MBFProblem
 # drive the whole pipeline importing only from repro.api.
 from repro.frt.embedding import EmbeddingResult
 from repro.frt.ensemble import FRTEnsemble
+from repro.frt.forest import FRTForest, build_frt_forest
 from repro.frt.lelists import max_list_length
 from repro.frt.stretch import StretchReport, evaluate_stretch
 from repro.graph import generators
@@ -132,6 +133,8 @@ __all__ = [
     "spawn_rngs",
     "EmbeddingResult",
     "FRTEnsemble",
+    "FRTForest",
+    "build_frt_forest",
     "StretchReport",
     "evaluate_stretch",
     "max_list_length",

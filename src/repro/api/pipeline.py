@@ -30,6 +30,7 @@ from repro.api.configs import ENSEMBLE_MODES, PipelineConfig
 from repro.api.registry import get_backend, invoke_solve, resolve_engine
 from repro.api.result import DistanceOracle, PipelineResult, SolveResult
 from repro.frt.embedding import EmbeddingResult, _draw_randomness
+from repro.frt.forest import FRTForest, build_frt_forest
 from repro.frt.lelists import (
     compute_le_lists_batch_via_oracle,
     compute_le_lists_via_oracle,
@@ -291,8 +292,9 @@ class Pipeline:
         if self.config.embedding.method == "oracle":
             self.oracle()
         pairs: list[tuple[EmbeddingResult, CostLedger]] = []
+        forest: FRTForest | None = None
         if mode == "batched":
-            pairs = self._sample_batch(children)
+            pairs, forest = self._sample_batch(children)
         elif workers is None or workers <= 1:
             for child in children:
                 ledger = CostLedger()
@@ -338,18 +340,21 @@ class Pipeline:
             ledgers=ledgers,
             timings=timings,
             meta=self._provenance(k=k, seed=seed, workers=workers, mode=mode),
+            forest=forest,
         )
 
     def _sample_batch(
         self, children: list[np.random.Generator]
-    ) -> list[tuple[EmbeddingResult, CostLedger]]:
-        """One fused multi-sample LE-list pass for the whole ensemble.
+    ) -> tuple[list[tuple[EmbeddingResult, CostLedger]], FRTForest]:
+        """One fused multi-sample LE-list + tree pass for the whole ensemble.
 
         Draws each sample's ``(rank, beta)`` from its own child generator
         (the same per-child order as the serial loop, so the randomness is
         bit-identical), stacks the ranks into a ``(k, n)`` matrix, runs the
-        batched engine once, and builds the ``k`` trees from the per-sample
-        list slices.
+        batched engine once, and constructs all ``k`` trees in one
+        vectorized :func:`~repro.frt.forest.build_frt_forest` pass — the
+        per-sample :class:`~repro.frt.tree.FRTTree` views are bit-identical
+        to serial ``build_frt_tree`` calls.
         """
         k = len(children)
         method = self.config.embedding.method
@@ -382,15 +387,15 @@ class Pipeline:
             lists, iters = backend.le_lists_batch(self.G, ranks, ledgers=ledgers)
             extra_meta = {"backend": backend.name}
         wmin, _ = self.G.weight_bounds()
+        betas = np.array([b for _, b in draws])
+        forest = build_frt_forest(lists, ranks, betas, wmin)
         pairs: list[tuple[EmbeddingResult, CostLedger]] = []
         for s, ((r, b), ledger) in enumerate(zip(draws, ledgers)):
-            sample_lists = lists.sample_states(s)
-            tree = build_frt_tree(sample_lists, r, b, wmin)
             emb = EmbeddingResult(
-                tree=tree,
+                tree=forest.tree(s),
                 rank=r,
                 beta=b,
-                le_lists=sample_lists,
+                le_lists=lists.sample_states(s),
                 iterations=int(iters[s]),
                 meta={"pipeline": method, **extra_meta},
             )
@@ -399,7 +404,7 @@ class Pipeline:
         self.timings["samples"] = self.timings.get("samples", 0.0) + (
             time.perf_counter() - t0
         )
-        return pairs
+        return pairs, forest
 
     # -- problem solving ------------------------------------------------------
 

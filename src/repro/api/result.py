@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.frt.embedding import EmbeddingResult
 from repro.frt.ensemble import FRTEnsemble
+from repro.frt.forest import FRTForest
 from repro.frt.tree import FRTTree
 from repro.metric.approx_metric import MetricResult
 from repro.pram.cost import CostLedger
@@ -77,6 +78,12 @@ class PipelineResult:
         hop-set and oracle diagnostics, and the pipeline's *lifetime*
         build counters (``hopset_builds <= 1`` verifies the batch reused
         one artifact set).
+    forest:
+        The stacked :class:`~repro.frt.forest.FRTForest` view of the same
+        trees when the batch was sampled with ``mode="batched"`` (else
+        ``None``); :meth:`ensemble` hands it to the
+        :class:`~repro.frt.ensemble.FRTEnsemble` so distance queries run
+        vectorized across all trees.
     """
 
     embeddings: list[EmbeddingResult]
@@ -84,6 +91,7 @@ class PipelineResult:
     ledgers: list[CostLedger] = field(default_factory=list)
     timings: dict = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
+    forest: FRTForest | None = None
 
     def __post_init__(self):
         if not self.embeddings:
@@ -111,8 +119,9 @@ class PipelineResult:
 
     def ensemble(self) -> FRTEnsemble:
         """View the batch as an :class:`~repro.frt.ensemble.FRTEnsemble`
-        (per-pair min/median distances, best-tree selection)."""
-        return FRTEnsemble(list(self.embeddings))
+        (per-pair min/median distances, best-tree selection), forest-backed
+        when the batch was sampled with ``mode="batched"``."""
+        return FRTEnsemble(list(self.embeddings), forest=self.forest)
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,9 @@ Entry points:
   :func:`~repro.frt.lelists.compute_le_lists_via_oracle`
 - :class:`~repro.frt.tree.FRTTree` and
   :func:`~repro.frt.tree.build_frt_tree`
+- :class:`~repro.frt.forest.FRTForest` and
+  :func:`~repro.frt.forest.build_frt_forest` (all ensemble trees in one
+  vectorized pass)
 - :func:`~repro.frt.embedding.sample_frt_tree` (direct) and
   :func:`~repro.frt.embedding.sample_frt_tree_via_oracle` (main result)
 - :func:`~repro.frt.stretch.evaluate_stretch`
@@ -24,6 +27,7 @@ Entry points:
 
 from repro.frt.lelists import compute_le_lists, compute_le_lists_via_oracle, le_lists_as_arrays
 from repro.frt.tree import FRTTree, build_frt_tree
+from repro.frt.forest import FRTForest, build_frt_forest
 from repro.frt.embedding import (
     EmbeddingResult,
     sample_frt_tree,
@@ -40,6 +44,8 @@ __all__ = [
     "le_lists_as_arrays",
     "FRTTree",
     "build_frt_tree",
+    "FRTForest",
+    "build_frt_forest",
     "EmbeddingResult",
     "sample_frt_tree",
     "sample_frt_tree_via_oracle",

@@ -12,12 +12,18 @@ packages that usage:
 - :meth:`FRTEnsemble.best_tree_for`: pick the tree minimizing any
   user-supplied objective (the "repeat and take the best" pattern used by
   the k-median and buy-at-bulk pipelines).
+
+When the ensemble was built by the batched pipeline, an
+:class:`~repro.frt.forest.FRTForest` backs the distance queries: one
+stacked ``(size, n, k_max+1)`` level-id pass instead of a Python loop over
+per-tree objects.  Results are bit-identical either way (the forest's
+structure arrays *are* the trees').
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -26,14 +32,23 @@ from repro.frt.tree import FRTTree
 from repro.graph.core import Graph
 from repro.util.rng import as_rng
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.frt.forest import FRTForest
+
 __all__ = ["FRTEnsemble", "sample_ensemble"]
 
 
 @dataclass
 class FRTEnsemble:
-    """A fixed collection of independently sampled FRT trees of one graph."""
+    """A fixed collection of independently sampled FRT trees of one graph.
+
+    ``forest``, when given, is the batched stacked-array view of the same
+    trees (:class:`~repro.frt.forest.FRTForest`); distance queries then run
+    as one vectorized pass over all trees instead of a per-tree loop.
+    """
 
     embeddings: list[EmbeddingResult]
+    forest: "FRTForest | None" = None
 
     def __post_init__(self):
         if not self.embeddings:
@@ -41,6 +56,19 @@ class FRTEnsemble:
         n = self.embeddings[0].tree.n
         if any(e.tree.n != n for e in self.embeddings):
             raise ValueError("all trees must embed the same vertex set")
+        if self.forest is not None:
+            f = self.forest
+            if (
+                f.size != len(self.embeddings)
+                or f.n != n
+                or any(
+                    int(f.depths[s]) != e.tree.k
+                    or float(f.betas[s]) != e.tree.beta
+                    or f.num_nodes(s) != e.tree.num_nodes
+                    for s, e in enumerate(self.embeddings)
+                )
+            ):
+                raise ValueError("forest does not match the embeddings")
 
     @property
     def n(self) -> int:
@@ -55,9 +83,15 @@ class FRTEnsemble:
         return [e.tree for e in self.embeddings]
 
     def distances(self, us, vs) -> np.ndarray:
-        """``(size, |pairs|)`` matrix of tree distances."""
+        """``(size, |pairs|)`` matrix of tree distances.
+
+        Backed by the stacked forest arrays when available (one vectorized
+        pass over all trees), else a per-tree loop — bit-identical results.
+        """
         us = np.atleast_1d(np.asarray(us, dtype=np.int64))
         vs = np.atleast_1d(np.asarray(vs, dtype=np.int64))
+        if self.forest is not None:
+            return self.forest.distances(us, vs)
         return np.stack([t.distances(us, vs) for t in self.trees])
 
     def distance_upper_bounds(self, us, vs) -> np.ndarray:

@@ -48,23 +48,65 @@ class StretchReport:
 
 
 def sample_pairs(n: int, count: int | None, rng=None) -> tuple[np.ndarray, np.ndarray]:
-    """Sample distinct vertex pairs (all pairs when ``count`` is None/large)."""
+    """Sample distinct vertex pairs (all pairs when ``count`` is None/large).
+
+    Keys are drawn without replacement by rejection (O(count) memory — no
+    length-``total`` permutation) and unranked to upper-triangular indices
+    with exact integer arithmetic (no float ``sqrt``, whose rounding near
+    triangular-row boundaries can select the wrong row).
+    """
     g = as_rng(rng)
     total = n * (n - 1) // 2
+    if count is not None and count < 0:
+        raise ValueError("count must be non-negative")
     if count is None or count >= total:
         iu, ju = np.triu_indices(n, k=1)
         return iu.astype(np.int64), ju.astype(np.int64)
-    keys = g.choice(total, size=count, replace=False)
-    # Unrank upper-triangular indices.
-    iu = np.empty(count, dtype=np.int64)
-    ju = np.empty(count, dtype=np.int64)
-    for t, key in enumerate(keys):
-        # row i satisfies key < cumulative pairs up to row i.
-        i = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * key)) // 2)
-        offset = key - (i * (2 * n - i - 1)) // 2
-        iu[t] = i
-        ju[t] = i + 1 + offset
+    return _unrank_pairs(n, _sample_distinct_keys(total, count, g))
+
+
+def _unrank_pairs(n: int, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map pair keys ``0..n(n-1)/2 - 1`` to upper-triangular ``(i, j)``.
+
+    Row ``i`` (pairs ``(i, i+1..n-1)``) owns the keys in
+    ``[cum[i-1], cum[i])`` where ``cum[i] = Σ_{r<=i} (n-1-r)``; a
+    ``searchsorted`` over the exact integer cumulative counts replaces the
+    float-``sqrt`` closed form, which can misassign keys at row boundaries
+    once the radicand exceeds float64's integer range.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size and (keys.min() < 0 or keys.max() >= n * (n - 1) // 2):
+        raise ValueError("pair key out of range")
+    cum = np.cumsum(np.arange(n - 1, 0, -1, dtype=np.int64))
+    iu = np.searchsorted(cum, keys, side="right").astype(np.int64)
+    row_start = np.where(iu > 0, cum[iu - 1], 0)
+    ju = iu + 1 + (keys - row_start)
     return iu, ju
+
+
+def _sample_distinct_keys(total: int, count: int, g) -> np.ndarray:
+    """``count`` distinct uniform keys from ``0..total-1``, O(count) memory.
+
+    ``Generator.choice(total, size=count, replace=False)`` materializes a
+    full length-``total`` permutation — O(n²) for a handful of pairs.
+    Instead, draw with replacement and keep first occurrences until
+    ``count`` distinct keys accumulate: the first ``count`` distinct values
+    of an i.i.d. uniform stream are a uniform without-replacement sample
+    (Floyd-style rejection, vectorized per batch).  For dense requests
+    (``count`` a large fraction of ``total``) the permutation is optimal
+    and O(total) is the output size anyway, so fall back to it.
+    """
+    if count * 3 >= total:
+        return g.permutation(total)[:count].astype(np.int64)
+    chosen = np.empty(0, dtype=np.int64)
+    while chosen.size < count:
+        need = count - chosen.size
+        batch = g.integers(0, total, size=need + need // 2 + 16, dtype=np.int64)
+        batch = batch[~np.isin(batch, chosen)]
+        _, first = np.unique(batch, return_index=True)
+        fresh = batch[np.sort(first)]  # distinct, in draw order
+        chosen = np.concatenate([chosen, fresh[:need]])
+    return chosen
 
 
 def evaluate_stretch(

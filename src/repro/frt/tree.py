@@ -22,6 +22,13 @@ Because all leaves sit at depth ``k`` and level-``i`` edges all share one
 weight, ``dist_T(u, v) = 2 · Σ_{j<ℓ} r_{j+1}`` where ``ℓ`` is the lowest
 level at which ``u``'s and ``v``'s suffixes coincide — tree distance
 queries are O(k) array comparisons and fully vectorizable.
+
+:func:`build_frt_tree` is the *serial reference* construction (one sample,
+a per-vertex Python loop).  Batch users — anything constructing the trees
+of an ensemble — should use :func:`repro.frt.forest.build_frt_forest`,
+which builds all samples' trees in one vectorized pass and yields
+bit-identical per-sample :class:`FRTTree` views via
+:meth:`~repro.frt.forest.FRTForest.tree`.
 """
 
 from __future__ import annotations
@@ -79,12 +86,18 @@ class FRTTree:
         return int(self.level_ids[v, 0])
 
     def children_lists(self) -> list[list[int]]:
-        """Adjacency ``children[node] -> [child ids]`` (leaves empty)."""
-        children: list[list[int]] = [[] for _ in range(self.num_nodes)]
-        for node, p in enumerate(self.parent):
-            if p >= 0:
-                children[p].append(node)
-        return children
+        """Adjacency ``children[node] -> [child ids]`` (leaves empty).
+
+        Children appear in increasing node-id order.  Grouped by a stable
+        argsort on ``parent`` rather than a per-node Python loop — the
+        k-median HST DP walks this on every tree of every ensemble.
+        """
+        num = self.num_nodes
+        order = np.argsort(self.parent, kind="stable")
+        num_roots = int(np.count_nonzero(self.parent < 0))  # sorted first
+        counts = np.bincount(self.parent[order[num_roots:]], minlength=num)
+        bounds = num_roots + np.concatenate([[0], np.cumsum(counts)])
+        return [order[bounds[p] : bounds[p + 1]].tolist() for p in range(num)]
 
     def edge_weight_above(self, node: int) -> float:
         """Weight of the edge from ``node`` to its parent."""

@@ -95,6 +95,48 @@ class TestEnsembleDistances:
         assert emb.tree.distance(0, 24) == pytest.approx(val)
 
 
+class TestForestBackedEnsemble:
+    def setup_method(self):
+        from repro.api import EmbeddingConfig, Pipeline, PipelineConfig
+
+        self.g = gen.random_graph(40, 110, rng=30)
+        cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+        self.res = Pipeline(self.g, cfg).sample_ensemble(
+            k=6, seed=3, mode="batched"
+        )
+
+    def test_forest_and_loop_queries_identical(self):
+        ens = self.res.ensemble()
+        assert ens.forest is not None
+        bare = FRTEnsemble(list(ens.embeddings))  # no forest: per-tree loop
+        iu, ju = np.triu_indices(self.g.n, k=1)
+        assert np.array_equal(ens.distances(iu, ju), bare.distances(iu, ju))
+        assert np.array_equal(
+            ens.distance_upper_bounds(iu, ju),
+            bare.distance_upper_bounds(iu, ju),
+        )
+        assert np.array_equal(
+            ens.median_distances(iu, ju), bare.median_distances(iu, ju)
+        )
+
+    def test_mismatched_forest_rejected(self):
+        ens = self.res.ensemble()
+        with pytest.raises(ValueError):
+            FRTEnsemble(list(ens.embeddings[:2]), forest=ens.forest)
+
+    def test_shape_compatible_wrong_forest_rejected(self):
+        # Same graph, same k, different seed: (size, n) match but the
+        # trees differ — the per-sample invariants must catch it.
+        from repro.api import EmbeddingConfig, Pipeline, PipelineConfig
+
+        cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+        other = Pipeline(self.g, cfg).sample_ensemble(
+            k=6, seed=99, mode="batched"
+        )
+        with pytest.raises(ValueError):
+            FRTEnsemble(list(self.res.embeddings), forest=other.forest)
+
+
 class TestDecomposition:
     def setup_method(self):
         self.g = gen.random_graph(30, 70, rng=20)

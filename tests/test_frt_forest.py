@@ -1,0 +1,267 @@
+"""Forest-vs-serial parity suite (repro.frt.forest).
+
+The contract under test: ``FRTForest.tree(s)`` is *bit-identical* — every
+structure array, node ids included — to the serial
+``build_frt_tree(lists.sample_states(s), ranks[s], betas[s], wmin)``, and
+the forest's vectorized distance queries equal the per-tree results
+exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import EmbeddingConfig, HopsetConfig, Pipeline, PipelineConfig
+from repro.frt import FRTForest, build_frt_forest, build_frt_tree
+from repro.frt.lelists import (
+    compute_le_lists_batch,
+    compute_le_lists_batch_via_oracle,
+)
+from repro.graph import generators as gen
+from repro.graph.core import Graph
+from repro.hopsets import hub_hopset
+from repro.mbf.dense import BatchedFlatStates
+from repro.oracle import HOracle
+
+TREE_ARRAYS = (
+    "radii",
+    "edge_weights",
+    "cum_weights",
+    "level_ids",
+    "parent",
+    "node_level",
+    "node_leading",
+)
+
+
+def _draws(n, k, seed, betas=None):
+    rng = np.random.default_rng(seed)
+    ranks = np.stack([rng.permutation(n) for _ in range(k)])
+    if betas is None:
+        betas = rng.uniform(1.0, 2.0, size=k)
+    return ranks, np.asarray(betas, dtype=np.float64)
+
+
+def _assert_tree_identical(got, want):
+    assert got.n == want.n
+    assert got.k == want.k
+    assert got.beta == want.beta
+    assert got.scale == want.scale
+    for name in TREE_ARRAYS:
+        a, b = getattr(got, name), getattr(want, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+
+
+def _assert_forest_matches_serial(g, lists, ranks, betas):
+    wmin, _ = g.weight_bounds()
+    forest = build_frt_forest(lists, ranks, betas, wmin)
+    serial = [
+        build_frt_tree(lists.sample_states(s), ranks[s], betas[s], wmin)
+        for s in range(lists.k)
+    ]
+    assert forest.size == lists.k and forest.n == g.n
+    assert np.array_equal(forest.depths, [t.k for t in serial])
+    for s, want in enumerate(serial):
+        _assert_tree_identical(forest.tree(s), want)
+    # Vectorized queries == stacked per-tree queries, bit for bit.
+    rng = np.random.default_rng(0)
+    us = rng.integers(0, g.n, size=32)
+    vs = rng.integers(0, g.n, size=32)
+    stacked = np.stack([t.distances(us, vs) for t in serial])
+    assert np.array_equal(forest.distances(us, vs), stacked)
+    assert np.array_equal(
+        forest.distance_upper_bounds(us, vs), stacked.min(axis=0)
+    )
+    assert np.array_equal(
+        forest.median_distances(us, vs), np.median(stacked, axis=0)
+    )
+    return forest
+
+
+class TestForestParity:
+    def test_single_sample(self):
+        g = gen.random_graph(24, 60, rng=0)
+        ranks, betas = _draws(g.n, 1, seed=1)
+        lists, _ = compute_le_lists_batch(g, ranks)
+        _assert_forest_matches_serial(g, lists, ranks, betas)
+
+    def test_non_power_of_two_k(self):
+        g = gen.random_graph(40, 110, rng=2)
+        ranks, betas = _draws(g.n, 7, seed=3)
+        lists, _ = compute_le_lists_batch(g, ranks)
+        _assert_forest_matches_serial(g, lists, ranks, betas)
+
+    def test_ragged_depths(self):
+        # Extreme betas (and per-sample root distances) force different
+        # tree depths; the test is only meaningful when they differ.
+        g = gen.random_graph(50, 140, rng=102)
+        ranks, _ = _draws(g.n, 6, seed=102)
+        betas = np.array([1.0, 1.99, 1.0, 1.99, 1.5, 1.01])
+        lists, _ = compute_le_lists_batch(g, ranks)
+        forest = _assert_forest_matches_serial(g, lists, ranks, betas)
+        assert np.unique(forest.depths).size > 1
+        assert forest.k_max == forest.depths.max()
+
+    def test_single_vertex_graph(self):
+        g = Graph.from_edge_list(1, [])
+        ranks = np.zeros((3, 1), dtype=np.int64)
+        betas = np.array([1.0, 1.5, 1.99])
+        lists, _ = compute_le_lists_batch(g, ranks)
+        forest = _assert_forest_matches_serial(g, lists, ranks, betas)
+        assert np.all(forest.depths == 1)
+
+    def test_grid_and_cycle_topologies(self):
+        for g in (gen.grid(5, 5, rng=4), gen.cycle(30, rng=5)):
+            ranks, betas = _draws(g.n, 4, seed=6)
+            lists, _ = compute_le_lists_batch(g, ranks)
+            _assert_forest_matches_serial(g, lists, ranks, betas)
+
+    def test_oracle_path(self):
+        g = gen.random_graph(32, 90, rng=7)
+        oracle = HOracle(hub_hopset(g, d0=4, rng=8), rng=9)
+        ranks, betas = _draws(g.n, 5, seed=10)
+        lists, _ = compute_le_lists_batch_via_oracle(oracle, ranks)
+        _assert_forest_matches_serial(g, lists, ranks, betas)
+
+
+class TestForestStructure:
+    def setup_method(self):
+        self.g = gen.random_graph(30, 80, rng=20)
+        self.ranks, self.betas = _draws(self.g.n, 4, seed=21)
+        self.lists, _ = compute_le_lists_batch(self.g, self.ranks)
+        wmin, _ = self.g.weight_bounds()
+        self.wmin = wmin
+        self.forest = build_frt_forest(self.lists, self.ranks, self.betas, wmin)
+
+    def test_node_offsets_partition_nodes(self):
+        f = self.forest
+        assert f.node_offsets[0] == 0
+        assert f.node_offsets[-1] == f.total_nodes
+        assert all(
+            f.num_nodes(s) == f.tree(s).num_nodes for s in range(f.size)
+        )
+
+    def test_padded_levels_replicate_root(self):
+        f = self.forest
+        for s in range(f.size):
+            d = int(f.depths[s])
+            root_col = f.level_ids[s, :, d]
+            for j in range(d + 1, f.k_max + 1):
+                assert np.array_equal(f.level_ids[s, :, j], root_col)
+
+    def test_blocked_queries_match_unblocked(self, monkeypatch):
+        # Large pair sets are processed in bounded-memory blocks; force
+        # tiny blocks and pin equality with the per-tree loop.
+        import repro.frt.forest as forest_mod
+
+        monkeypatch.setattr(forest_mod, "_QUERY_BLOCK_ELEMS", 8)
+        iu, ju = np.triu_indices(self.g.n, k=1)
+        stacked = np.stack(
+            [self.forest.tree(s).distances(iu, ju) for s in range(self.forest.size)]
+        )
+        assert np.array_equal(self.forest.distances(iu, ju), stacked)
+
+    def test_tree_index_validation(self):
+        with pytest.raises(IndexError):
+            self.forest.tree(self.forest.size)
+        with pytest.raises(IndexError):
+            self.forest.tree(-1)
+
+    def test_trees_list(self):
+        trees = self.forest.trees()
+        assert len(trees) == self.forest.size
+        assert all(t.n == self.g.n for t in trees)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="ranks"):
+            build_frt_forest(self.lists, self.ranks[:, :-1], self.betas, self.wmin)
+        with pytest.raises(ValueError, match="betas"):
+            build_frt_forest(self.lists, self.ranks, self.betas[:-1], self.wmin)
+        with pytest.raises(ValueError, match="beta"):
+            build_frt_forest(
+                self.lists, self.ranks, np.full(4, 2.5), self.wmin
+            )
+        with pytest.raises(ValueError, match="wmin"):
+            build_frt_forest(self.lists, self.ranks, self.betas, 0.0)
+        with pytest.raises(ValueError, match="lower bound"):
+            # A huge wmin makes level-0 balls swallow neighbors.
+            build_frt_forest(self.lists, self.ranks, self.betas, 1e6)
+
+    def test_rejects_empty_lists(self):
+        bad = BatchedFlatStates(
+            k=1,
+            n=2,
+            offsets=np.array([0, 1, 1]),
+            ids=np.array([0]),
+            dists=np.array([0.0]),
+        )
+        with pytest.raises(ValueError, match="non-empty"):
+            build_frt_forest(
+                bad, np.array([[0, 1]]), np.array([1.5]), 1.0
+            )
+
+    def test_rejects_non_fixpoint_lists(self):
+        # Forge per-sample lists whose last entries disagree: no common root.
+        bad = BatchedFlatStates(
+            k=1,
+            n=2,
+            offsets=np.array([0, 1, 2]),
+            ids=np.array([0, 1]),
+            dists=np.array([0.0, 0.0]),
+        )
+        with pytest.raises(ValueError, match="fixpoint"):
+            build_frt_forest(
+                bad, np.array([[0, 1]]), np.array([1.5]), 1.0
+            )
+
+    def test_rejects_unsorted_lists(self):
+        bad = BatchedFlatStates(
+            k=1,
+            n=2,
+            offsets=np.array([0, 2, 4]),
+            ids=np.array([0, 1, 0, 1]),
+            dists=np.array([0.0, 3.0, 3.0, 0.0]),  # second list descending
+        )
+        with pytest.raises(ValueError, match="ascending"):
+            build_frt_forest(
+                bad, np.array([[0, 1]]), np.array([1.5]), 1.0
+            )
+
+
+class TestPipelineForest:
+    def test_batched_result_carries_forest(self):
+        g = gen.random_graph(48, 130, rng=30)
+        cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+        res = Pipeline(g, cfg).sample_ensemble(k=6, seed=0, mode="batched")
+        assert isinstance(res.forest, FRTForest)
+        assert res.forest.size == 6
+        ens = res.ensemble()
+        assert ens.forest is res.forest
+
+    def test_serial_result_has_no_forest(self):
+        g = gen.random_graph(32, 90, rng=31)
+        cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+        res = Pipeline(g, cfg).sample_ensemble(k=3, seed=0, mode="serial")
+        assert res.forest is None
+        assert res.ensemble().forest is None
+
+    def test_batched_trees_match_serial_mode(self):
+        g = gen.random_graph(48, 130, rng=32)
+        cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+        a = Pipeline(g, cfg).sample_ensemble(k=5, seed=7, mode="serial")
+        b = Pipeline(g, cfg).sample_ensemble(k=5, seed=7, mode="batched")
+        for ea, eb in zip(a, b):
+            _assert_tree_identical(eb.tree, ea.tree)
+        iu, ju = np.triu_indices(g.n, k=1)
+        assert np.array_equal(
+            a.ensemble().distances(iu, ju), b.ensemble().distances(iu, ju)
+        )
+
+    def test_oracle_pipeline_forest(self):
+        g = gen.random_graph(32, 90, rng=33)
+        cfg = PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=4))
+        a = Pipeline(g, cfg).sample_ensemble(k=3, seed=1, mode="serial")
+        b = Pipeline(g, cfg).sample_ensemble(k=3, seed=1, mode="batched")
+        assert isinstance(b.forest, FRTForest)
+        for ea, eb in zip(a, b):
+            _assert_tree_identical(eb.tree, ea.tree)

@@ -159,6 +159,20 @@ class TestTreeConstruction:
         for v in range(7):
             assert children[tree.leaf_of(v)] == []
 
+    def test_children_lists_matches_naive_loop(self):
+        # The argsort-grouped construction must reproduce the per-node
+        # append loop exactly: same lists, children in increasing id order.
+        g = gen.random_graph(40, 100, rng=12)
+        tree, _ = self._tree(g, seed=13)
+        naive = [[] for _ in range(tree.num_nodes)]
+        for node, p in enumerate(tree.parent):
+            if p >= 0:
+                naive[int(p)].append(node)
+        got = tree.children_lists()
+        assert got == naive
+        for lst in got:
+            assert lst == sorted(lst)
+
     def test_edge_weight_above(self):
         g = gen.cycle(7, rng=1)
         tree, _ = self._tree(g)

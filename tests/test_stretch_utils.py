@@ -1,10 +1,17 @@
 """Tests for stretch-evaluation utilities (repro.frt.stretch)."""
 
+import tracemalloc
+
 import numpy as np
 import pytest
 
 from repro.frt import evaluate_stretch, sample_frt_tree
-from repro.frt.stretch import StretchReport, sample_pairs
+from repro.frt.stretch import (
+    StretchReport,
+    _sample_distinct_keys,
+    _unrank_pairs,
+    sample_pairs,
+)
 from repro.graph import generators as gen
 from repro.graph.core import Graph
 
@@ -32,6 +39,10 @@ class TestSamplePairs:
         b = sample_pairs(30, 10, rng=3)
         assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
 
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_pairs(100, -3)
+
     def test_unranking_covers_extremes(self):
         # With count == total the unranking path is bypassed; with total-1
         # we exercise it broadly and must stay in range.
@@ -40,6 +51,90 @@ class TestSamplePairs:
         us, vs = sample_pairs(n, total - 1, rng=4)
         assert us.size == total - 1
         assert np.all(us < vs)
+
+
+class TestUnrankPairs:
+    def test_full_sweep_matches_triu(self):
+        # Exactness on every key: unranking 0..total-1 must reproduce
+        # np.triu_indices order exactly.
+        n = 300
+        total = n * (n - 1) // 2
+        iu, ju = _unrank_pairs(n, np.arange(total))
+        eu, ev = np.triu_indices(n, k=1)
+        assert np.array_equal(iu, eu)
+        assert np.array_equal(ju, ev)
+
+    def test_boundary_keys_large_n(self):
+        # Regression: the old float-sqrt closed form can misassign keys at
+        # triangular-row boundaries.  Pin the exact integer contract
+        # (row_start(i) <= key < row_start(i+1)) on both edges of a spread
+        # of rows at a size where n^2-scale radicands stress float64.
+        n = 10**6
+
+        def row_start(i):
+            return i * (2 * n - i - 1) // 2
+
+        total = n * (n - 1) // 2
+        rows = [0, 1, 2, 5, 10**3, n // 2, n - 3, n - 2]
+        keys = sorted(
+            {
+                key
+                for i in rows
+                for key in (row_start(i), row_start(i + 1) - 1)
+                if 0 <= key < total
+            }
+        )
+        iu, ju = _unrank_pairs(n, np.array(keys))
+        for key, i, j in zip(keys, iu.tolist(), ju.tolist()):
+            assert row_start(i) <= key < row_start(i + 1)
+            assert j == i + 1 + (key - row_start(i))
+            assert 0 <= i < j < n
+
+    def test_out_of_range_keys_rejected(self):
+        with pytest.raises(ValueError):
+            _unrank_pairs(5, np.array([10]))  # total = 10, keys go 0..9
+        with pytest.raises(ValueError):
+            _unrank_pairs(5, np.array([-1]))
+
+
+class TestSampleDistinctKeys:
+    def test_no_quadratic_allocation(self):
+        # Regression: Generator.choice(total, size=count, replace=False)
+        # materialized a full length-total permutation — ~1.6 GB at
+        # n = 20_000.  The rejection sampler must stay within a small
+        # constant budget.
+        n = 20_000
+        tracemalloc.start()
+        try:
+            us, vs = sample_pairs(n, 5, rng=7)
+        finally:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        assert peak < 5 * 2**20, f"peak allocation {peak / 2**20:.1f} MiB"
+        assert us.size == 5
+        assert np.all((0 <= us) & (us < vs) & (vs < n))
+        keys = us * n + vs
+        assert np.unique(keys).size == keys.size
+
+    def test_distinct_and_in_range(self):
+        for count in (1, 10, 33, 60, 99):
+            keys = _sample_distinct_keys(100, count, np.random.default_rng(count))
+            assert keys.size == count
+            assert np.unique(keys).size == count
+            assert keys.min() >= 0 and keys.max() < 100
+
+    def test_roughly_uniform(self):
+        # Every key should appear with frequency ~count/total over many
+        # draws (loose 3-sigma-ish bounds; pins against e.g. a sorted-
+        # truncation bug that would bias toward small keys).
+        total, count, reps = 20, 4, 3000
+        g = np.random.default_rng(0)
+        freq = np.zeros(total)
+        for _ in range(reps):
+            np.add.at(freq, _sample_distinct_keys(total, count, g), 1)
+        expected = reps * count / total
+        assert np.all(freq > 0.8 * expected)
+        assert np.all(freq < 1.2 * expected)
 
 
 class TestEvaluateStretch:
