@@ -1,0 +1,130 @@
+"""Merge CI bench-smoke artifacts into one cross-run trend record.
+
+The bench-smoke matrix (driven by ``benchmarks/ci_smoke.json``) uploads one
+pytest-benchmark JSON per experiment; this script — stdlib only, run by the
+final CI job — folds every ``bench-*.json`` it finds into a single
+``bench-trend.json`` keyed by commit, plus a Markdown table for the GitHub
+step summary.  One trend file per run, downloadable as the ``bench-trend``
+artifact, is the seed for a real perf trajectory: successive runs differ
+only in ``commit``/``collected_at`` and the measured numbers, so they can
+be concatenated and plotted directly.
+
+Usage::
+
+    python benchmarks/merge_trend.py ARTIFACT_DIR \
+        [--out bench-trend.json] [--summary SUMMARY_MD_PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+SCHEMA = 1
+
+# extra_info keys surfaced in the summary table, in display order.
+_HIGHLIGHT_KEYS = ("speedup", "tree_stage_speedup", "ratio_vs_opt", "n", "k", "r")
+
+
+def merge_files(paths: list[Path]) -> dict:
+    """Fold pytest-benchmark JSON files into one trend record."""
+    sources = []
+    for path in sorted(paths):
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}", file=sys.stderr)
+            continue
+        benches = []
+        for bench in raw.get("benchmarks", []):
+            stats = bench.get("stats", {})
+            benches.append(
+                {
+                    "name": bench.get("name"),
+                    "group": bench.get("group"),
+                    "mean_s": stats.get("mean"),
+                    "stddev_s": stats.get("stddev"),
+                    "rounds": stats.get("rounds"),
+                    "extra_info": bench.get("extra_info", {}),
+                }
+            )
+        sources.append(
+            {
+                "file": path.name,
+                "datetime": raw.get("datetime"),
+                "benchmarks": benches,
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "commit": os.environ.get("GITHUB_SHA"),
+        "ref": os.environ.get("GITHUB_REF"),
+        "run_id": os.environ.get("GITHUB_RUN_ID"),
+        "collected_at": max(
+            (s["datetime"] for s in sources if s.get("datetime")), default=None
+        ),
+        "sources": sources,
+    }
+
+
+def render_summary(trend: dict) -> str:
+    """A Markdown table of every merged benchmark (for the step summary)."""
+    lines = [
+        "## Benchmark smoke trend",
+        "",
+        f"commit `{trend.get('commit') or 'local'}` — "
+        f"{sum(len(s['benchmarks']) for s in trend['sources'])} benchmarks "
+        f"from {len(trend['sources'])} artifacts",
+        "",
+        "| source | benchmark | mean (s) | highlights |",
+        "|---|---|---|---|",
+    ]
+    for source in trend["sources"]:
+        for bench in source["benchmarks"]:
+            extra = bench.get("extra_info", {})
+            highlights = ", ".join(
+                f"{key}={extra[key]:.3g}"
+                if isinstance(extra.get(key), float)
+                else f"{key}={extra[key]}"
+                for key in _HIGHLIGHT_KEYS
+                if key in extra
+            )
+            mean = bench.get("mean_s")
+            lines.append(
+                f"| {source['file']} | {bench['name']} "
+                f"| {mean:.4g} | {highlights} |"
+                if mean is not None
+                else f"| {source['file']} | {bench['name']} | — | {highlights} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact_dir", type=Path)
+    parser.add_argument("--out", type=Path, default=Path("bench-trend.json"))
+    parser.add_argument("--summary", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    paths = sorted(args.artifact_dir.rglob("bench-*.json"))
+    if not paths:
+        print(f"error: no bench-*.json under {args.artifact_dir}", file=sys.stderr)
+        return 1
+    trend = merge_files(paths)
+    args.out.write_text(json.dumps(trend, indent=2, sort_keys=True) + "\n")
+    summary = render_summary(trend)
+    if args.summary is not None:
+        with open(args.summary, "a") as fh:
+            fh.write(summary + "\n")
+    else:
+        print(summary)
+    print(f"merged {len(trend['sources'])} artifacts -> {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,8 +8,9 @@ is the canonical way to drive it:
   expensive stage artifacts (hop set, oracle) and exposes ``sample()``,
   ``sample_ensemble(k)`` (amortized batch sampling with per-sample child
   RNGs, optional process-pool parallelism, and a fused
-  ``mode="batched"`` multi-sample engine), ``distance_oracle()`` and
-  ``embed_metric()``;
+  ``mode="batched"`` multi-sample engine), ``solve_app()`` (the Section
+  9-10 applications through the forest-backed batch path),
+  ``distance_oracle()`` and ``embed_metric()``;
 - :mod:`~repro.api.configs` — frozen, validated stage configs
   (:class:`HopsetConfig`, :class:`OracleConfig`, :class:`EmbeddingConfig`,
   :class:`PipelineConfig`) with ``to_dict``/``from_dict`` round-tripping;
@@ -147,10 +148,16 @@ __all__ = [
     "kmedian_greedy",
     "kmedian_random",
     "KMedianResult",
+    "hst_kmedian_dp",
+    "hst_kmedian_dp_forest",
     "buy_at_bulk",
     "CableType",
     "Demand",
     "BuyAtBulkResult",
+    "route_demands_on_tree",
+    "route_demands_on_forest",
+    "cable_costs_array",
+    "forest_tree_costs",
 ]
 
 # The applications import Pipeline themselves, so eager imports here would
@@ -162,10 +169,16 @@ _LAZY_EXPORTS = {
     "kmedian_greedy": "repro.apps.kmedian",
     "kmedian_random": "repro.apps.kmedian",
     "KMedianResult": "repro.apps.kmedian",
+    "hst_kmedian_dp": "repro.apps.kmedian",
+    "hst_kmedian_dp_forest": "repro.apps.batched",
     "buy_at_bulk": "repro.apps.buyatbulk",
     "CableType": "repro.apps.buyatbulk",
     "Demand": "repro.apps.buyatbulk",
     "BuyAtBulkResult": "repro.apps.buyatbulk",
+    "route_demands_on_tree": "repro.apps.buyatbulk",
+    "route_demands_on_forest": "repro.apps.batched",
+    "cable_costs_array": "repro.apps.batched",
+    "forest_tree_costs": "repro.apps.batched",
 }
 
 

@@ -108,6 +108,7 @@ class Pipeline:
             "metric_builds": 0,
             "samples": 0,
             "solves": 0,
+            "apps": 0,
         }
         self.timings: dict[str, float] = {}
 
@@ -454,6 +455,59 @@ class Pipeline:
             family=problem.family,
             engine=eng.name,
         )
+
+    # -- applications ---------------------------------------------------------
+
+    def solve_app(self, app: str, **kwargs):
+        """Run a Section 9-10 application on this pipeline's graph.
+
+        The application-level counterpart of :meth:`solve`: one call per
+        problem instance, routed through the forest-backed batch path
+        (``sample_ensemble(mode="batched")`` + the vectorized DP/routing
+        kernels of :mod:`repro.apps.batched`), with wall-clock recorded in
+        ``timings["apps"]`` and the call count in ``stats["apps"]``.
+
+        >>> res = pipe.solve_app("kmedian", k=4, trees=8)
+        >>> res.facilities, res.cost
+        >>> res = pipe.solve_app("buy-at-bulk", demands=dms, cables=cbl, trees=4)
+        >>> res.graph_cost
+
+        ``"kmedian"`` forwards to :func:`~repro.apps.kmedian.kmedian` with
+        this pipeline's generator (and, under the ``"oracle"`` embedding
+        method, the cached Section-5 oracle for the candidate-sampling
+        distance queries — the paper's mechanism).  ``"buy-at-bulk"``
+        forwards to :func:`~repro.apps.buyatbulk.buy_at_bulk` with this
+        pipeline injected, so the ensemble is sampled under the configured
+        method/backend and artifacts stay amortized across calls.
+        """
+        # Local imports: the application modules import Pipeline themselves.
+        from repro.apps.buyatbulk import buy_at_bulk as _buy_at_bulk
+        from repro.apps.kmedian import kmedian as _kmedian
+
+        t0 = time.perf_counter()
+        if app == "kmedian":
+            if "oracle" not in kwargs and self.config.embedding.method == "oracle":
+                kwargs["oracle"] = self.oracle()
+            kwargs.setdefault("rng", self._rng)
+            result = _kmedian(self.G, **kwargs)
+        elif app in ("buy-at-bulk", "buyatbulk"):
+            for key in ("pipeline", "embedding", "rng"):
+                if key in kwargs:
+                    raise ValueError(
+                        f"solve_app('buy-at-bulk') routes through this "
+                        f"pipeline's sampler; {key!r} cannot be overridden — "
+                        "call repro.apps.buyatbulk.buy_at_bulk directly instead"
+                    )
+            result = _buy_at_bulk(self.G, pipeline=self, **kwargs)
+        else:
+            raise ValueError(
+                f"unknown application {app!r}; available: 'kmedian', 'buy-at-bulk'"
+            )
+        self.stats["apps"] += 1
+        self.timings["apps"] = self.timings.get("apps", 0.0) + (
+            time.perf_counter() - t0
+        )
+        return result
 
     # -- distance queries -----------------------------------------------------
 

@@ -6,8 +6,19 @@
 - :mod:`repro.apps.buyatbulk` — Theorem 10.2: expected
   ``O(log n)``-approximate buy-at-bulk network design (route on the tree,
   buy optimal cables per edge, map paths back to ``G``).
+- :mod:`repro.apps.batched` — the forest-backed fast path both pipelines
+  run on: the k-median DP and the demand routing of *every* ensemble
+  sample in one vectorized pass over the stacked
+  :class:`~repro.frt.forest.FRTForest` arrays, bit-identical per sample to
+  the serial references.
 """
 
+from repro.apps.batched import (
+    cable_costs_array,
+    forest_tree_costs,
+    hst_kmedian_dp_forest,
+    route_demands_on_forest,
+)
 from repro.apps.kmedian import KMedianResult, hst_kmedian_dp, kmedian, kmedian_cost
 from repro.apps.buyatbulk import (
     BuyAtBulkResult,
@@ -15,6 +26,7 @@ from repro.apps.buyatbulk import (
     Demand,
     buy_at_bulk,
     cable_cost,
+    route_demands_on_tree,
 )
 
 __all__ = [
@@ -22,9 +34,14 @@ __all__ = [
     "kmedian",
     "kmedian_cost",
     "hst_kmedian_dp",
+    "hst_kmedian_dp_forest",
     "BuyAtBulkResult",
     "CableType",
     "Demand",
     "buy_at_bulk",
     "cable_cost",
+    "route_demands_on_tree",
+    "route_demands_on_forest",
+    "cable_costs_array",
+    "forest_tree_costs",
 ]

@@ -14,6 +14,13 @@ Awerbuch–Azar/Blelloch-et-al. scheme:
 3. map each used tree edge back to a ``G``-path (Section 7.5) and re-buy
    cables for the accumulated ``G``-edge flows.
 
+With ``trees > 1`` the reduction step samples a whole batched ensemble and
+scores every tree's routing cost in one vectorized pass
+(:func:`~repro.apps.batched.route_demands_on_forest` +
+:func:`~repro.apps.batched.forest_tree_costs`), keeping the best tree —
+the repetition trick without a per-tree Python loop.  The serial
+:func:`route_demands_on_tree` stays the bit-identical per-tree reference.
+
 Reported alongside: a *shortest-path routing* baseline (each demand routed
 independently in ``G``) and the fractional lower bound
 ``LB = min_i(c_i/u_i) · Σ_j d_j · dist(s_j, t_j, G)`` (any feasible
@@ -30,6 +37,7 @@ import numpy as np
 
 from repro.api.configs import EmbeddingConfig, PipelineConfig
 from repro.api.pipeline import Pipeline
+from repro.apps.batched import forest_tree_costs, route_demands_on_forest
 from repro.frt.embedding import EmbeddingResult
 from repro.frt.paths import PathOracle, tree_edge_to_graph_path
 from repro.frt.tree import FRTTree
@@ -150,32 +158,79 @@ def buy_at_bulk(
     *,
     rng=None,
     embedding: EmbeddingResult | None = None,
+    trees: int = 1,
+    pipeline: Pipeline | None = None,
 ) -> BuyAtBulkResult:
     """Theorem 10.2 pipeline: expected ``O(log n)``-approximation.
 
     A pre-sampled ``embedding`` may be supplied (e.g. from the oracle
-    pipeline); otherwise one direct FRT tree is sampled.
+    pipeline); routing then runs the serial single-tree reference path
+    (``trees``/``pipeline`` must be left at their defaults — the
+    combination is rejected rather than silently ignored).
+    Otherwise ``trees`` FRT trees are sampled as one batched ensemble
+    (``Pipeline.sample_ensemble(mode="batched")``), every sample's routing
+    cost is scored in one vectorized
+    :func:`~repro.apps.batched.route_demands_on_forest` pass, and the best
+    tree (minimum surrogate cost — the paper's repetition trick) is mapped
+    back to ``G``.  ``pipeline`` injects a pre-configured
+    :class:`~repro.api.pipeline.Pipeline` on ``G`` (e.g. the oracle
+    method); it must embed the same graph, and its own generator drives
+    the sampling (``rng`` applies only when neither ``embedding`` nor
+    ``pipeline`` is given).
     """
     if not demands:
         raise ValueError("need at least one demand")
     if not cables:
         raise ValueError("need at least one cable type")
+    if trees < 1:
+        raise ValueError("trees must be >= 1")
+    if embedding is not None and (trees != 1 or pipeline is not None):
+        raise ValueError(
+            "a supplied embedding fixes the single tree to route on; "
+            "combining it with trees > 1 or a pipeline would be silently "
+            "ignored — drop the embedding to use the batched ensemble path"
+        )
     for dm in demands:
         if not (0 <= dm.source < G.n and 0 <= dm.target < G.n):
             raise ValueError("demand endpoint out of range")
-    g = as_rng(rng)
-    if embedding is None:
-        pipe = Pipeline(G, PipelineConfig(embedding=EmbeddingConfig(method="direct")))
-        embedding = pipe.sample(rng=g)
-    emb = embedding
-    tree = emb.tree
-
-    # -- tree routing and per-edge purchase --------------------------------
-    tree_flows = route_demands_on_tree(tree, demands)
-    tree_cost = 0.0
-    for node, f in tree_flows.items():
-        w = tree.edge_weight_above(node)
-        tree_cost += cable_cost(f, cables) * w
+    meta_extra: dict = {}
+    if embedding is not None:
+        emb = embedding
+        tree = emb.tree
+        # -- serial reference: route on the one supplied tree ---------------
+        tree_flows = route_demands_on_tree(tree, demands)
+        tree_cost = 0.0
+        for node, f in tree_flows.items():
+            w = tree.edge_weight_above(node)
+            tree_cost += cable_cost(f, cables) * w
+    else:
+        if pipeline is None:
+            pipeline = Pipeline(
+                G,
+                PipelineConfig(embedding=EmbeddingConfig(method="direct")),
+                rng=as_rng(rng),
+            )
+        elif pipeline.G is not G:
+            raise ValueError("pipeline must embed the same graph as the demands")
+        result = pipeline.sample_ensemble(trees, mode="batched")
+        forest = result.forest
+        assert forest is not None
+        flows = route_demands_on_forest(forest, demands)
+        tree_costs = forest_tree_costs(forest, flows, cables)
+        best = int(np.argmin(tree_costs))
+        emb = result.embeddings[best]
+        tree = emb.tree
+        lo, hi = forest.node_offsets[best], forest.node_offsets[best + 1]
+        local = flows[lo:hi]
+        used = np.flatnonzero(local > 0)
+        tree_flows = {int(node): float(local[node]) for node in used}
+        tree_cost = float(tree_costs[best])
+        meta_extra = {
+            "trees": trees,
+            "best_sample": best,
+            "tree_costs": [float(c) for c in tree_costs],
+            "mode": "batched",
+        }
 
     # -- map back to G -------------------------------------------------------
     oracle = PathOracle(G)
@@ -220,5 +275,6 @@ def buy_at_bulk(
             "cables": len(cables),
             "tree_edges_used": len(tree_flows),
             "beta": emb.beta,
+            **meta_extra,
         },
     )

@@ -19,7 +19,10 @@ Pipeline, following Blelloch et al. [10] adapted to graph inputs:
    ancestor level whose subtree holds an open facility, so
    ``cost(F) = Σ_{t: subtree(t)∩F=∅} W(t)·2·w(level(t))`` and a knapsack DP
    over the tree solves the problem *optimally* on the tree metric
-   (:func:`hst_kmedian_dp`; verified against brute force in tests).
+   (:func:`hst_kmedian_dp`, the serial reference verified against brute
+   force in tests; the pipeline runs all repetition trees at once through
+   :func:`~repro.apps.batched.hst_kmedian_dp_forest`, bit-identical per
+   tree).
 4. **Map back**: open the chosen candidates in ``G``; the tree guarantee
    gives expected ``O(log k)``-approximation overall.
 """
@@ -33,6 +36,8 @@ import numpy as np
 
 from repro.api.configs import EmbeddingConfig, PipelineConfig
 from repro.api.pipeline import Pipeline
+from repro.apps.batched import hst_kmedian_dp_forest
+from repro.frt.stretch import all_pairs
 from repro.frt.tree import FRTTree
 from repro.graph.core import Graph
 from repro.graph.shortest_paths import dijkstra_distances
@@ -156,6 +161,12 @@ def hst_kmedian_dp(
     tree metric (every client pays its tree distance to the nearest open
     facility).
 
+    This is the *serial reference* (one tree, a per-node Python loop).
+    Batch users — anything scoring a whole ensemble — should call
+    :func:`~repro.apps.batched.hst_kmedian_dp_forest`, which runs every
+    sample's DP in one vectorized pass with bit-identical costs and
+    facility sets.
+
     DP: ``dp[t][j]`` = cost of tree edges inside ``subtree(t)`` with ``j``
     facilities placed inside; merging child ``c`` adds
     ``W(c)·2·w(level(c))`` when ``c`` receives no facility (its clients pay
@@ -266,9 +277,14 @@ def kmedian(
 
     Samples ``trees`` FRT trees of the candidate submetric and keeps the
     best resulting solution (the standard repetition trick from the
-    introduction of the paper).  With ``oracle``, the candidate-sampling
-    distance queries run on the simulated graph ``H`` (the paper's
-    mechanism); evaluation/weighting remain exact.
+    introduction of the paper).  The whole repetition batch runs through
+    the forest-backed fast path: one
+    ``Pipeline.sample_ensemble(mode="batched")`` call embeds all trees at
+    once and :func:`~repro.apps.batched.hst_kmedian_dp_forest` solves every
+    tree's DP in one vectorized pass (bit-identical per tree to the serial
+    :func:`hst_kmedian_dp` reference).  With ``oracle``, the
+    candidate-sampling distance queries run on the simulated graph ``H``
+    (the paper's mechanism); evaluation/weighting remain exact.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -288,21 +304,24 @@ def kmedian(
     DQ = dijkstra_distances(G, Q)  # (|Q|, n)
     nearest = np.argmin(DQ, axis=0)
     weights = np.bincount(nearest, minlength=Q.size).astype(np.float64)
-    # Candidate submetric as a complete graph (SPD 1).
+    # Candidate submetric as a complete graph (SPD 1); edge indices via the
+    # exact triangular unranking (no (|Q|, |Q|) boolean-mask transient).
     sub = DQ[:, Q]
-    iu, ju = np.triu_indices(Q.size, k=1)
+    iu, ju = all_pairs(Q.size)
     clique = Graph(
         Q.size, np.stack([iu, ju], axis=1), sub[iu, ju], validate=False
     )
     # The candidate submetric has SPD 1, so the direct pipeline samples each
-    # tree in a single LE iteration; one Pipeline serves all repetitions.
+    # tree in a single LE iteration; one batched ensemble serves all
+    # repetitions, and one forest DP scores them all.
     pipe = Pipeline(
-        clique, PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+        clique, PipelineConfig(embedding=EmbeddingConfig(method="direct")), rng=g
     )
+    result = pipe.sample_ensemble(max(1, trees), mode="batched")
+    assert result.forest is not None
+    _, facility_sets = hst_kmedian_dp_forest(result.forest, weights, k)
     best: tuple[float, np.ndarray] | None = None
-    for _ in range(max(1, trees)):
-        emb = pipe.sample(rng=g)
-        _, fac_local = hst_kmedian_dp(emb.tree, weights, k)
+    for fac_local in facility_sets:
         facilities = Q[fac_local]
         cost = kmedian_cost(G, facilities)
         if best is None or cost < best[0]:
@@ -311,7 +330,12 @@ def kmedian(
     return KMedianResult(
         facilities=best[1],
         cost=best[0],
-        meta={"candidates": int(Q.size), "trees": trees},
+        meta={
+            "candidates": int(Q.size),
+            "trees": trees,
+            "oracle": oracle is not None,
+            "mode": "batched",
+        },
     )
 
 

@@ -1,0 +1,140 @@
+"""The CI smoke-manifest convention and the bench-trend merger.
+
+``benchmarks/ci_smoke.json`` drives the CI bench-smoke matrix (one job per
+entry: bench file -> test ids -> tiny-size ``-k`` filter -> artifact
+name); these tests keep the manifest honest against the benchmark sources
+so a renamed test or file fails here, not silently in CI.
+``benchmarks/merge_trend.py`` (the final CI job) folds the uploaded
+``bench-*.json`` artifacts into one ``bench-trend.json`` + summary table.
+"""
+
+import ast
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+MANIFEST = REPO / "benchmarks" / "ci_smoke.json"
+
+sys.path.insert(0, str(REPO / "benchmarks"))
+import merge_trend  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return json.loads(MANIFEST.read_text())["entries"]
+
+
+class TestSmokeManifest:
+    def test_names_and_artifacts_unique(self, entries):
+        names = [e["name"] for e in entries]
+        artifacts = [e["artifact"] for e in entries]
+        assert len(set(names)) == len(names)
+        assert len(set(artifacts)) == len(artifacts)
+
+    def test_entry_shape(self, entries):
+        for e in entries:
+            assert set(e) == {"name", "file", "tests", "filter", "artifact"}
+            assert isinstance(e["tests"], list)
+            assert isinstance(e["filter"], str)
+            # The trend job downloads artifacts by the bench-* pattern.
+            assert e["artifact"].startswith("bench-"), e["name"]
+
+    def test_bench_files_exist(self, entries):
+        for e in entries:
+            path = REPO / e["file"]
+            assert path.is_file(), f"{e['name']}: missing {e['file']}"
+
+    def test_listed_tests_exist_in_source(self, entries):
+        for e in entries:
+            tree = ast.parse((REPO / e["file"]).read_text())
+            defined = {
+                node.name
+                for node in ast.walk(tree)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for test in e["tests"]:
+                assert test in defined, f"{e['name']}: {test} not in {e['file']}"
+
+    def test_e14_is_wired_in(self, entries):
+        # Acceptance criterion of the forest-backed app PR: the batched
+        # apps benchmark runs in CI smoke and lands in the merged trend.
+        e14 = [e for e in entries if e["name"] == "e14"]
+        assert len(e14) == 1
+        assert e14[0]["file"] == "benchmarks/bench_e14_batched_apps.py"
+        assert "test_e14_forest_kmedian_dp" in e14[0]["tests"]
+
+    def test_smoke_selectors_collect(self, entries):
+        """Every entry's selector set + filter collects >= 1 test."""
+        for e in entries:
+            select = (
+                [f"{e['file']}::{t}" for t in e["tests"]]
+                if e["tests"]
+                else [e["file"]]
+            )
+            cmd = [sys.executable, "-m", "pytest", "-q", "--collect-only", *select]
+            if e["filter"]:
+                cmd += ["-k", e["filter"]]
+            proc = subprocess.run(
+                cmd, cwd=REPO, capture_output=True, text=True, timeout=120
+            )
+            assert proc.returncode == 0, f"{e['name']}: {proc.stdout}{proc.stderr}"
+            assert "no tests ran" not in proc.stdout, e["name"]
+
+
+def _fake_artifact(path, name, mean, extra):
+    path.write_text(
+        json.dumps(
+            {
+                "datetime": "2026-07-26T00:00:00",
+                "benchmarks": [
+                    {
+                        "name": name,
+                        "group": None,
+                        "stats": {"mean": mean, "stddev": 0.0, "rounds": 1},
+                        "extra_info": extra,
+                    }
+                ],
+            }
+        )
+    )
+
+
+class TestMergeTrend:
+    def test_merge_and_summary(self, tmp_path):
+        _fake_artifact(tmp_path / "bench-e13.json", "t_a[128-4]", 0.5, {"speedup": 2.0})
+        _fake_artifact(tmp_path / "bench-e14.json", "t_b[128-4]", 0.1, {"n": 128})
+        trend = merge_trend.merge_files(sorted(tmp_path.glob("bench-*.json")))
+        assert trend["schema"] == merge_trend.SCHEMA
+        assert [s["file"] for s in trend["sources"]] == [
+            "bench-e13.json",
+            "bench-e14.json",
+        ]
+        assert trend["sources"][0]["benchmarks"][0]["mean_s"] == 0.5
+        summary = merge_trend.render_summary(trend)
+        assert "t_a[128-4]" in summary and "speedup=2" in summary
+        assert summary.count("|") >= 4 * 2  # a table with both rows
+
+    def test_main_writes_out_and_summary(self, tmp_path):
+        _fake_artifact(tmp_path / "bench-e7.json", "t_c", 0.2, {})
+        out = tmp_path / "bench-trend.json"
+        summary = tmp_path / "summary.md"
+        rc = merge_trend.main(
+            [str(tmp_path), "--out", str(out), "--summary", str(summary)]
+        )
+        assert rc == 0
+        trend = json.loads(out.read_text())
+        assert len(trend["sources"]) == 1
+        assert "t_c" in summary.read_text()
+
+    def test_main_fails_without_artifacts(self, tmp_path):
+        assert merge_trend.main([str(tmp_path)]) == 1
+
+    def test_unreadable_artifact_skipped(self, tmp_path):
+        _fake_artifact(tmp_path / "bench-ok.json", "t_d", 0.3, {})
+        (tmp_path / "bench-broken.json").write_text("{not json")
+        trend = merge_trend.merge_files(sorted(tmp_path.glob("bench-*.json")))
+        assert [s["file"] for s in trend["sources"]] == ["bench-ok.json"]

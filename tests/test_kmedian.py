@@ -142,6 +142,55 @@ class TestHSTDP:
         with pytest.raises(ValueError):
             hst_kmedian_dp(tree, w, 1, allowed=np.zeros(6, dtype=bool))
 
+    # -- edge cases that anchor the batched-forest parity suite ------------
+
+    def test_all_disallowed_but_one(self):
+        tree, w = self._tree_and_weights(n=9, seed=20)
+        only = 4
+        allowed = np.zeros(9, dtype=bool)
+        allowed[only] = True
+        for k in (1, 3):
+            cost, fac = hst_kmedian_dp(tree, w, k, allowed=allowed)
+            assert np.array_equal(fac, [only])
+            M = tree.distance_matrix()
+            assert cost == pytest.approx(float((M[:, only] * w).sum()))
+
+    def test_zero_weight_clients_do_not_pay(self):
+        tree, w = self._tree_and_weights(n=8, seed=21)
+        w[[1, 5, 6]] = 0.0
+        cost, fac = hst_kmedian_dp(tree, w, 2)
+        M = tree.distance_matrix()
+        realized = float((M[:, fac].min(axis=1) * w).sum())
+        assert cost == pytest.approx(realized)
+        want_cost, _ = self.brute_force_on_tree(tree, w, 2)
+        assert cost == pytest.approx(want_cost)
+
+    def test_k_at_least_allowed_leaves(self):
+        # More facilities than allowed sites: the DP opens every allowed
+        # site whose subtree carries weight; cost equals the 2-site optimum.
+        tree, w = self._tree_and_weights(n=8, seed=22)
+        allowed = np.zeros(8, dtype=bool)
+        allowed[[2, 7]] = True
+        cost, fac = hst_kmedian_dp(tree, w, 5, allowed=allowed)
+        assert set(fac).issubset({2, 7})
+        want_cost, _ = self.brute_force_on_tree(tree, w, 2, allowed)
+        assert cost == pytest.approx(want_cost)
+
+    def test_single_vertex_graph(self):
+        from repro.frt import build_frt_tree
+        from repro.frt.lelists import compute_le_lists_batch
+        from repro.graph.core import Graph
+
+        g = Graph.from_edge_list(1, [])
+        ranks = np.zeros((1, 1), dtype=np.int64)
+        lists, _ = compute_le_lists_batch(g, ranks)
+        tree = build_frt_tree(
+            lists.sample_states(0), ranks[0], 1.5, g.weight_bounds()[0]
+        )
+        cost, fac = hst_kmedian_dp(tree, np.array([3.0]), 1)
+        assert cost == 0.0
+        assert np.array_equal(fac, [0])
+
 
 class TestKMedianPipeline:
     def test_approximation_vs_optimum(self):
@@ -197,6 +246,44 @@ class TestKMedianPipeline:
         g = Graph.from_edge_list(4, [(0, 1, 1.0), (2, 3, 1.0)])
         with pytest.raises(ValueError):
             kmedian(g, 1)
+
+
+class TestCliqueConstructionMemory:
+    """The candidate clique is built via exact triangular unranking.
+
+    ``np.triu_indices`` materializes an (m, m) boolean mask (plus its
+    inversion) on top of the O(m²)-entries output; the unranking path's
+    transient scratch must stay bounded by the block size regardless of m.
+    """
+
+    def test_clique_edges_peak_memory(self):
+        import tracemalloc
+
+        from repro.frt.stretch import all_pairs
+
+        m = 3000  # total = 4_498_500 pairs; output = 2 * total * 8 bytes
+        total = m * (m - 1) // 2
+        output_bytes = 2 * total * 8
+        tracemalloc.start()
+        try:
+            iu, ju = all_pairs(m)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert iu.size == ju.size == total
+        # Transient overhead beyond the returned arrays stays at the
+        # (constant) unranking block scratch — far below the ~9 MB mask
+        # pair triu_indices would add at this size, and flat in m.
+        assert peak - output_bytes < 48 * (1 << 20), (peak, output_bytes)
+
+    def test_clique_edges_match_triu(self):
+        from repro.frt.stretch import all_pairs
+
+        for m in (2, 3, 17, 64):
+            iu, ju = all_pairs(m)
+            wi, wj = np.triu_indices(m, k=1)
+            assert np.array_equal(iu, wi)
+            assert np.array_equal(ju, wj)
 
 
 class TestOracleBackedSampling:

@@ -10,6 +10,7 @@ from repro.frt.stretch import (
     StretchReport,
     _sample_distinct_keys,
     _unrank_pairs,
+    all_pairs,
     sample_pairs,
 )
 from repro.graph import generators as gen
@@ -51,6 +52,32 @@ class TestSamplePairs:
         us, vs = sample_pairs(n, total - 1, rng=4)
         assert us.size == total - 1
         assert np.all(us < vs)
+
+
+class TestAllPairs:
+    @pytest.mark.parametrize("n", [2, 3, 10, 100])
+    def test_matches_triu_indices(self, n):
+        iu, ju = all_pairs(n)
+        wi, wj = np.triu_indices(n, k=1)
+        assert iu.dtype == ju.dtype == np.int64
+        assert np.array_equal(iu, wi)
+        assert np.array_equal(ju, wj)
+
+    def test_blocked_unranking_consistent(self, monkeypatch):
+        # Shrinking the block size must not change the output: the blocks
+        # are a pure memory bound, not a semantic boundary.
+        import repro.frt.stretch as stretch
+
+        want = all_pairs(40)
+        monkeypatch.setattr(stretch, "_ALL_PAIRS_BLOCK", 7)
+        got = all_pairs(40)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+
+    def test_degenerate_sizes(self):
+        for n in (0, 1):
+            iu, ju = all_pairs(n)
+            assert iu.size == ju.size == 0
 
 
 class TestUnrankPairs:
