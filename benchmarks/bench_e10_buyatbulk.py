@@ -13,7 +13,7 @@ scale steepen.
 import numpy as np
 import pytest
 
-from repro.api import CableType, Demand, as_rng, buy_at_bulk, generators as gen
+from repro.api import as_rng, buy_at_bulk, CableType, Demand, generators as gen, sample_distinct
 
 FLAT = [CableType(1.0, 1.0)]
 ECONOMIES = [CableType(1.0, 1.0), CableType(16.0, 4.0), CableType(256.0, 16.0)]
@@ -23,7 +23,7 @@ def _demands(n, count, seed):
     g = as_rng(seed)
     out = []
     for _ in range(count):
-        s, t = g.choice(n, size=2, replace=False)
+        s, t = sample_distinct(n, 2, g)
         out.append(Demand(int(s), int(t), float(g.integers(1, 8))))
     return out
 

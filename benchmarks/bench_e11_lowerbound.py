@@ -16,6 +16,8 @@ import numpy as np
 import pytest
 
 from repro.graph import generators as gen
+from repro.util.pairs import sample_distinct
+from repro.util.rng import as_rng
 
 
 @pytest.mark.parametrize("q", [0.1, 0.3, 0.6])
@@ -24,7 +26,7 @@ def test_e11_detection_probability_linear_in_q(benchmark, q):
     trials = 300
 
     def run():
-        rng = np.random.default_rng(110)
+        rng = as_rng(110)
         hits = 0
         with_light = 0
         for _ in range(trials):
@@ -32,7 +34,7 @@ def test_e11_detection_probability_linear_in_q(benchmark, q):
             if light is None:
                 continue
             with_light += 1
-            sample = rng.choice(g.m, size=int(q * g.m), replace=False)
+            sample = sample_distinct(g.m, int(q * g.m), rng)
             if light in sample:
                 hits += 1
         return hits / max(with_light, 1)
@@ -51,7 +53,7 @@ def test_e11_distance_gap(benchmark):
 
     def run():
         gaps = []
-        rng = np.random.default_rng(111)
+        rng = as_rng(111)
         for _ in range(20):
             g, light = gen.lower_bound_instance(32, 120, rng=rng)
             d = dijkstra_distances(g, [0])[0][g.n - 1]

@@ -38,11 +38,12 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    as_rng,
     EmbeddingConfig,
+    generators as gen,
     HopsetConfig,
     Pipeline,
     PipelineConfig,
-    generators as gen,
 )
 from repro.frt import build_frt_forest, build_frt_tree
 from repro.frt.lelists import compute_le_lists_batch
@@ -57,6 +58,8 @@ def _time_ensemble(g, cfg, k, seed, mode):
 
 def _assert_identical(serial, batched):
     for a, b in zip(serial, batched):
+        # reprolint: disable=float-distance-eq (serial-vs-batched
+        # bit-identity is the property under test here)
         assert np.array_equal(a.rank, b.rank) and a.beta == b.beta
         assert a.iterations == b.iterations
         assert a.le_lists.equals(b.le_lists)
@@ -120,7 +123,7 @@ def test_e13_tree_stage_split(benchmark, n, k, assert_speedup):
     is asserted alongside the speedup floor.
     """
     g = gen.random_graph(n, 3 * n, rng=24)
-    rng = np.random.default_rng(25)
+    rng = as_rng(25)
     ranks = np.stack([rng.permutation(n) for _ in range(k)])
     betas = rng.uniform(1.0, 2.0, size=k)
     wmin, _ = g.weight_bounds()

@@ -26,10 +26,11 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    as_rng,
     EmbeddingConfig,
+    generators as gen,
     Pipeline,
     PipelineConfig,
-    generators as gen,
 )
 from repro.apps.batched import (
     forest_tree_costs,
@@ -62,7 +63,7 @@ def _forest(n, r, seed):
 def test_e14_forest_kmedian_dp(benchmark, n, r, k, assert_speedup):
     """Per-tree serial DP loop vs one fused forest DP, bit-identical."""
     _, forest = _forest(n, r, seed=140)
-    weights = np.random.default_rng(141).uniform(0.0, 3.0, n)
+    weights = as_rng(141).uniform(0.0, 3.0, n)
 
     t0 = time.perf_counter()
     serial = [hst_kmedian_dp(forest.tree(s), weights, k) for s in range(r)]
@@ -108,7 +109,7 @@ def test_e14_forest_kmedian_dp(benchmark, n, r, k, assert_speedup):
 def test_e14_forest_routing(benchmark, n, r, demands, assert_speedup):
     """Per-demand tree walks vs one LCA-by-level pass, bit-identical."""
     _, forest = _forest(n, r, seed=142)
-    rng = np.random.default_rng(143)
+    rng = as_rng(143)
     dms = []
     while len(dms) < demands:
         s, t = rng.integers(0, n, size=2)
@@ -170,7 +171,7 @@ def test_e14_solve_app_end_to_end(benchmark):
     pipe = Pipeline(
         g, PipelineConfig(embedding=EmbeddingConfig(method="direct")), rng=145
     )
-    rng = np.random.default_rng(146)
+    rng = as_rng(146)
     dms = [
         Demand(int(s), int(t), float(rng.integers(1, 10)))
         for s, t in rng.integers(0, n, size=(32, 2))

@@ -17,13 +17,13 @@ exactly.
 import numpy as np
 import pytest
 
-from repro.api import generators as gen, get_backend, max_list_length
+from repro.api import as_rng, generators as gen, get_backend, max_list_length
 
 
 @pytest.mark.parametrize("n", [64, 256, 1024, 4096])
 def test_e3_le_length_scaling(benchmark, n):
     g = gen.random_graph(n, 3 * n, rng=20)
-    rank = np.random.default_rng(21).permutation(n)
+    rank = as_rng(21).permutation(n)
     backend = get_backend("dense")
 
     def run():
@@ -49,7 +49,7 @@ def test_e3_families(benchmark, family):
         g = gen.grid(20, 20, rng=22)
     else:
         g = gen.random_regular(n, 4, rng=22)
-    rank = np.random.default_rng(23).permutation(g.n)
+    rank = as_rng(23).permutation(g.n)
     backend = get_backend("dense")
     lists, _ = benchmark.pedantic(
         lambda: backend.le_lists(g, rank), rounds=1, iterations=1
@@ -63,7 +63,7 @@ def test_e3_backends_agree(benchmark):
     """The registry's engines compute identical LE lists (Lemma 7.5 is
     engine-independent); the dense engine is the fast one."""
     g = gen.random_graph(48, 120, rng=24)
-    rank = np.random.default_rng(25).permutation(g.n)
+    rank = as_rng(25).permutation(g.n)
 
     def run_both():
         dense, _ = get_backend("dense").le_lists(g, rank)

@@ -17,12 +17,13 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    as_rng,
     EmbeddingConfig,
+    evaluate_stretch,
+    generators as gen,
     HopsetConfig,
     Pipeline,
     PipelineConfig,
-    evaluate_stretch,
-    generators as gen,
 )
 
 
@@ -42,7 +43,7 @@ def _family(name, rng):
 def test_e4_direct_stretch(benchmark, family):
     g = _family(family, 30)
     pipe = Pipeline(g, PipelineConfig(embedding=EmbeddingConfig(method="direct")))
-    shared = np.random.default_rng(31)
+    shared = as_rng(31)
 
     def run():
         return evaluate_stretch(
@@ -68,7 +69,7 @@ def test_e4_oracle_pipeline_stretch(benchmark, family):
     eps = 1.0 / np.log2(g.n) ** 2
     pipe = Pipeline(g, PipelineConfig(hopset=HopsetConfig(eps=eps)), rng=34)
     pipe.oracle()  # build once, outside the measured sampling loop
-    shared = np.random.default_rng(36)
+    shared = as_rng(36)
 
     def run():
         return evaluate_stretch(

@@ -21,11 +21,12 @@ from repro.mbf.dense import LEFilter, MinFilter, run_dense
 from repro.oracle import HOracle
 from repro.simulated import SimulatedGraph
 from repro.simulated.levels import sample_levels
+from repro.util.rng import as_rng
 
 
 def _instance(n, seed):
     g = gen.cycle(n, rng=seed)
-    w = np.random.default_rng(seed).integers(1, 5, g.m).astype(np.float64)
+    w = as_rng(seed).integers(1, 5, g.m).astype(np.float64)
     g = Graph(g.n, g.edges, w, validate=False)
     hop = rounded_hopset(hub_hopset(g, d0=4, rng=seed + 1), g, 0.5)
     levels, _ = sample_levels(n, seed + 2)
@@ -36,7 +37,7 @@ def _instance(n, seed):
 def test_e5_oracle_equals_materialized(benchmark, n):
     g, hop, levels = _instance(n, 50)
     oracle = HOracle(hop, levels=levels)
-    rank = np.random.default_rng(51).permutation(n)
+    rank = as_rng(51).permutation(n)
 
     def run_oracle():
         return oracle.run(LEFilter(rank))
@@ -69,7 +70,7 @@ def test_e5_materialization_baseline(benchmark, n):
 
 def test_e5_early_exit_saves_inner_iterations(benchmark):
     g, hop, levels = _instance(48, 52)
-    rank = np.random.default_rng(53).permutation(48)
+    rank = as_rng(53).permutation(48)
 
     def run_both():
         fast = HOracle(hop, levels=levels, inner_early_exit=True)

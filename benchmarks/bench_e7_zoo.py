@@ -22,6 +22,7 @@ from repro.graph.shortest_paths import dijkstra_distances, shortest_path_diamete
 from repro.mbf import zoo
 from repro.mbf.dense import FlatStates, MinFilter, TopKFilter, run_dense
 from repro.pram import CostLedger
+from repro.util.rng import as_rng
 
 G = gen.random_graph(48, 120, rng=70)
 D_TRUTH = dijkstra_distances(G)
@@ -63,7 +64,7 @@ def _make(name: str, n: int):
         return zoo.apwp(n)
     if name == "connectivity":
         return zoo.connectivity(n)
-    return zoo.le_lists(n, np.random.default_rng(73).permutation(n))
+    return zoo.le_lists(n, as_rng(73).permutation(n))
 
 
 def _same(a, b) -> bool:

@@ -18,12 +18,13 @@ import pytest
 
 from repro.congest import khan_le_lists, skeleton_frt
 from repro.graph import generators as gen
+from repro.util.rng import as_rng
 
 
 @pytest.mark.parametrize("n", [128, 256, 512])
 def test_e8_khan_rounds_scale_with_spd(benchmark, n):
     g = gen.cycle_with_hub(n)
-    rank = np.random.default_rng(80).permutation(g.n)
+    rank = as_rng(80).permutation(g.n)
 
     def run():
         return khan_le_lists(g, rank)
@@ -84,12 +85,12 @@ def test_e8_crossover(benchmark):
     def run():
         out = {}
         star = gen.star(256, rng=82)
-        rank = np.random.default_rng(83).permutation(star.n)
+        rank = as_rng(83).permutation(star.n)
         _, _, kl = khan_le_lists(star, rank)
         sk = skeleton_frt(star, eps=0.0, c=0.5, rng=84)
         out["star"] = (kl.rounds, sk.ledger.rounds)
         hub = gen.cycle_with_hub(512)
-        rank = np.random.default_rng(85).permutation(hub.n)
+        rank = as_rng(85).permutation(hub.n)
         _, _, kl2 = khan_le_lists(hub, rank)
         sk2 = skeleton_frt(hub, eps=0.0, c=0.5, rng=86)
         out["cycle_with_hub"] = (kl2.rounds, sk2.ledger.rounds)

@@ -1,0 +1,184 @@
+"""Per-PR benchmark snapshots + ratio-threshold regression gate.
+
+ROADMAP item 5: ``merge_trend.py`` produces one ``bench-trend.json`` per
+CI run, but the perf trajectory only becomes *tracked* when snapshots are
+committed.  The convention:
+
+- ``BENCH_<pr>.json`` at the repo root is the merged trend record for
+  that PR, written with ``--write BENCH_<pr>.json`` from a smoke-size
+  run (the same entries CI runs, see ``benchmarks/ci_smoke.json``);
+- this script compares a fresh trend file against the *latest* committed
+  snapshot, benchmark by benchmark (keyed on source artifact + test
+  name), and fails when ``current_mean / previous_mean`` exceeds the
+  threshold;
+- with no prior snapshot the check is a no-op pass, so the gate could
+  land before the first snapshot existed.
+
+Mean-time ratios across different runners are noisy, hence the generous
+default threshold (2.0x): the gate exists to catch order-of-magnitude
+regressions (an accidentally-serial batch path, a quadratic transient
+reappearing), not 10% drift.  Stdlib only.
+
+Usage::
+
+    python benchmarks/check_trend.py bench-trend.json \
+        [--snapshot-dir .] [--threshold 2.0] [--summary FILE] \
+        [--write BENCH_6.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["compare", "latest_snapshot", "main"]
+
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def latest_snapshot(snapshot_dir: Path) -> Path | None:
+    """The committed ``BENCH_<pr>.json`` with the highest PR number."""
+    best: tuple[int, Path] | None = None
+    for path in snapshot_dir.glob("BENCH_*.json"):
+        m = _SNAPSHOT_RE.match(path.name)
+        if m and (best is None or int(m.group(1)) > best[0]):
+            best = (int(m.group(1)), path)
+    return best[1] if best else None
+
+
+def _bench_means(trend: dict) -> dict[tuple[str, str], float]:
+    """``(artifact file, benchmark name) -> mean seconds`` for one record."""
+    out: dict[tuple[str, str], float] = {}
+    for source in trend.get("sources", []):
+        for bench in source.get("benchmarks", []):
+            mean = bench.get("mean_s")
+            if mean is not None and bench.get("name"):
+                out[(source.get("file", "?"), bench["name"])] = float(mean)
+    return out
+
+
+def compare(current: dict, previous: dict, threshold: float) -> dict:
+    """Ratio check of every benchmark present in both records.
+
+    Returns ``{"regressions": [...], "improved": [...], "rows": [...],
+    "matched": int}``; a benchmark regresses when ``cur/prev > threshold``.
+    Benchmarks present on only one side are reported but never fail the
+    gate (smoke manifests legitimately gain and lose entries).
+    """
+    cur, prev = _bench_means(current), _bench_means(previous)
+    rows, regressions, improved = [], [], []
+    for key in sorted(cur.keys() & prev.keys()):
+        ratio = cur[key] / prev[key] if prev[key] > 0 else float("inf")
+        row = {
+            "file": key[0],
+            "name": key[1],
+            "prev_s": prev[key],
+            "cur_s": cur[key],
+            "ratio": ratio,
+        }
+        rows.append(row)
+        if ratio > threshold:
+            regressions.append(row)
+        elif ratio < 1.0 / threshold:
+            improved.append(row)
+    return {
+        "rows": rows,
+        "regressions": regressions,
+        "improved": improved,
+        "matched": len(rows),
+        "only_current": sorted(cur.keys() - prev.keys()),
+        "only_previous": sorted(prev.keys() - cur.keys()),
+    }
+
+
+def render_summary(result: dict, previous_name: str, threshold: float) -> str:
+    lines = [
+        "## Benchmark regression check",
+        "",
+        f"vs `{previous_name}` — {result['matched']} matched benchmark(s), "
+        f"threshold {threshold:g}x",
+        "",
+    ]
+    if result["regressions"]:
+        lines.append(f"**{len(result['regressions'])} regression(s)** :x:")
+    else:
+        lines.append("No regressions. :white_check_mark:")
+    lines += ["", "| benchmark | prev (s) | cur (s) | ratio |", "|---|---|---|---|"]
+    for row in result["rows"]:
+        flag = " :x:" if row in result["regressions"] else (
+            " :rocket:" if row in result["improved"] else "")
+        lines.append(
+            f"| {row['name']} | {row['prev_s']:.4g} | {row['cur_s']:.4g} "
+            f"| {row['ratio']:.2f}x{flag} |"
+        )
+    for key in result["only_current"]:
+        lines.append(f"| {key[1]} | — | new | |")
+    for key in result["only_previous"]:
+        lines.append(f"| {key[1]} | dropped | — | |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trend", type=Path, help="fresh bench-trend.json")
+    parser.add_argument("--snapshot-dir", type=Path, default=Path("."),
+                        help="where committed BENCH_<pr>.json snapshots live")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when cur/prev mean exceeds this ratio")
+    parser.add_argument("--summary", type=Path, default=None,
+                        help="append a markdown summary (GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--write", type=Path, default=None, metavar="SNAPSHOT",
+                        help="also write the trend as a new BENCH_<pr>.json")
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.trend.read_text())
+    if args.write is not None:
+        args.write.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"wrote snapshot {args.write}", file=sys.stderr)
+
+    prev_path = latest_snapshot(args.snapshot_dir)
+    if prev_path is None:
+        print("no prior BENCH_*.json snapshot — regression check is a no-op",
+              file=sys.stderr)
+        if args.summary is not None:
+            with open(args.summary, "a") as fh:
+                fh.write("## Benchmark regression check\n\n"
+                         "No prior snapshot — nothing to compare. "
+                         ":white_check_mark:\n")
+        return 0
+    # Comparing a snapshot against itself (fresh --write into the same
+    # directory) is meaningless; use the one before it if present.
+    if args.write is not None and prev_path.name == args.write.name:
+        candidates = sorted(
+            (int(_SNAPSHOT_RE.match(p.name).group(1)), p)
+            for p in args.snapshot_dir.glob("BENCH_*.json")
+            if _SNAPSHOT_RE.match(p.name) and p.name != args.write.name
+        )
+        if not candidates:
+            print("only the just-written snapshot exists — no-op",
+                  file=sys.stderr)
+            return 0
+        prev_path = candidates[-1][1]
+
+    previous = json.loads(prev_path.read_text())
+    result = compare(current, previous, args.threshold)
+    summary = render_summary(result, prev_path.name, args.threshold)
+    if args.summary is not None:
+        with open(args.summary, "a") as fh:
+            fh.write(summary + "\n")
+    else:
+        print(summary)
+    for row in result["regressions"]:
+        print(f"REGRESSION {row['name']}: {row['prev_s']:.4g}s -> "
+              f"{row['cur_s']:.4g}s ({row['ratio']:.2f}x > "
+              f"{args.threshold:g}x)", file=sys.stderr)
+    return 1 if result["regressions"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

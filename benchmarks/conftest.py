@@ -8,10 +8,11 @@ its quantitative theorems).  Measured quantities land in
 assertions (who wins, by what factor) run inline.
 """
 
-import numpy as np
 import pytest
+
+from repro.util.rng import as_rng
 
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(2016)  # SPAA 2016
+    return as_rng(2016)  # SPAA 2016

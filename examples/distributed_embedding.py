@@ -15,10 +15,11 @@ import numpy as np
 from repro.congest import khan_le_lists, skeleton_frt
 from repro.graph import generators
 from repro.graph.shortest_paths import hop_diameter, shortest_path_diameter
+from repro.util.rng import as_rng
 
 
 def compare(name, g, seed):
-    rank = np.random.default_rng(seed).permutation(g.n)
+    rank = as_rng(seed).permutation(g.n)
     _, iters, khan = khan_le_lists(g, rank)
     sk = skeleton_frt(g, eps=0.0, c=0.5, rng=seed + 1)
     print(

@@ -14,13 +14,15 @@ Run:  python examples/network_design.py
 import numpy as np
 
 from repro.api import (
+    as_rng,
+    buy_at_bulk,
     CableType,
     Demand,
     EmbeddingConfig,
+    generators,
     Pipeline,
     PipelineConfig,
-    buy_at_bulk,
-    generators,
+    sample_distinct,
 )
 
 CATALOG = [
@@ -33,10 +35,10 @@ CATALOG = [
 def main() -> None:
     n = 60
     g = generators.random_graph(n, 150, wmin=1.0, wmax=5.0, rng=11)
-    rng = np.random.default_rng(12)
+    rng = as_rng(12)
     demands = []
     for _ in range(25):
-        s, t = rng.choice(n, size=2, replace=False)
+        s, t = sample_distinct(n, 2, rng)
         demands.append(Demand(int(s), int(t), float(rng.integers(1, 40))))
     total = sum(d.amount for d in demands)
     print(f"topology: n={n} m={g.m};  {len(demands)} demands, {total:.0f} units total")

@@ -18,13 +18,14 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.api import (
+    as_rng,
+    available_backends,
     EmbeddingConfig,
+    evaluate_stretch,
+    generators,
     HopsetConfig,
     Pipeline,
     PipelineConfig,
-    available_backends,
-    evaluate_stretch,
-    generators,
     shortest_path_diameter,
 )
 
@@ -71,7 +72,7 @@ def main() -> None:
 
     # -- stretch over repeated samples, direct pipeline -------------------------
     direct = Pipeline(g, PipelineConfig(embedding=EmbeddingConfig(method="direct")))
-    shared = np.random.default_rng(5)
+    shared = as_rng(5)
     report = evaluate_stretch(
         g, lambda: direct.sample(rng=shared).tree, trees=16, rng=6
     )

@@ -91,7 +91,8 @@ from repro.hopsets.base import HopSetResult
 from repro.metric.approx_metric import MetricResult
 from repro.oracle.oracle import HOracle
 from repro.pram.cost import CostLedger
-from repro.util.rng import as_rng, spawn_rngs
+from repro.util.pairs import all_pairs, sample_distinct
+from repro.util.rng import as_rng, spawn_rngs, split_seed
 
 __all__ = [
     # facade
@@ -132,6 +133,9 @@ __all__ = [
     "CostLedger",
     "as_rng",
     "spawn_rngs",
+    "split_seed",
+    "all_pairs",
+    "sample_distinct",
     "EmbeddingResult",
     "FRTEnsemble",
     "FRTForest",

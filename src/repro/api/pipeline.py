@@ -45,7 +45,7 @@ from repro.hopsets.skeleton import hub_hopset
 from repro.metric.approx_metric import MetricResult, metric_from_oracle
 from repro.oracle.oracle import HOracle
 from repro.pram.cost import NULL_LEDGER, CostLedger
-from repro.util.rng import as_rng
+from repro.util.rng import as_rng, spawn_rngs, split_seed
 
 __all__ = ["Pipeline"]
 
@@ -271,23 +271,21 @@ class Pipeline:
         t_total = time.perf_counter()
         timings_before = dict(self.timings)
         if seed is not None:
-            ss = np.random.SeedSequence(seed)
-            build_ss, sample_ss = ss.spawn(2)
+            build_ss, sample_ss = split_seed(seed, 2)
             if self._needs_build():
                 # Build from a seed-derived stream so a fresh pipeline is
                 # fully deterministic — but restore the pipeline's own
                 # stream afterwards: the batch seed must not shift the
                 # randomness of later sample()/hopset() calls.
                 own_rng = self._rng
-                self._rng = np.random.default_rng(build_ss)
+                self._rng = as_rng(build_ss)
                 try:
                     self.oracle()
                 finally:
                     self._rng = own_rng
-            children = [np.random.default_rng(s) for s in sample_ss.spawn(k)]
+            children = spawn_rngs(sample_ss, k)
         else:
-            seeds = self._rng.integers(0, 2**63 - 1, size=k, dtype=np.int64)
-            children = [np.random.default_rng(int(s)) for s in seeds]
+            children = spawn_rngs(self._rng, k)
         # Build shared artifacts up front so every sample (and worker) reuses
         # the same hop set / oracle instead of racing to build its own.
         if self.config.embedding.method == "oracle":

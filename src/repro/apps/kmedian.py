@@ -46,6 +46,7 @@ from repro.util.rng import as_rng
 __all__ = [
     "KMedianResult",
     "successive_sampling",
+    "distance_to_set_via_oracle",
     "hst_kmedian_dp",
     "kmedian",
     "kmedian_cost",
@@ -129,6 +130,9 @@ def successive_sampling(
     U = np.arange(n, dtype=np.int64)
     chosen: list[np.ndarray] = []
     while U.size > per_round:
+        # reprolint: disable=quadratic-transient (draw from the uncovered-client
+        # array: the permutation transient is O(|U|) <= O(n), linear in the
+        # instance, and the Theorem 9.1 sampling bits are pinned by seeded tests)
         S = g.choice(U, size=per_round, replace=False)
         chosen.append(S)
         if oracle is not None:
@@ -362,6 +366,8 @@ def kmedian_greedy(G: Graph, k: int) -> KMedianResult:
 def kmedian_random(G: Graph, k: int, *, rng=None) -> KMedianResult:
     """Uniform-random baseline."""
     g = as_rng(rng)
+    # reprolint: disable=quadratic-transient (vertex draw: O(n) permutation,
+    # linear in the instance; baseline bits are pinned by seeded tests)
     fac = np.sort(g.choice(G.n, size=min(k, G.n), replace=False))
     return KMedianResult(
         facilities=fac, cost=kmedian_cost(G, fac), meta={"baseline": "random"}

@@ -37,6 +37,7 @@ from repro.hopsets.rounded import rounded_hopset
 from repro.hopsets.skeleton import hub_hopset
 from repro.mbf.dense import FlatStates, LEFilter, aggregate, dense_iteration
 from repro.oracle.oracle import HOracle
+from repro.util.pairs import all_pairs, sample_distinct
 from repro.util.rng import as_rng
 
 __all__ = ["SkeletonFRTResult", "skeleton_frt"]
@@ -82,14 +83,14 @@ def skeleton_frt(
     if ell is None:
         ell = int(math.ceil(math.sqrt(n)))
     target = int(min(n, max(2, math.ceil(c * math.sqrt(n) * log_n))))
-    skeleton = np.sort(g.choice(n, size=target, replace=False)).astype(np.int64)
+    skeleton = np.sort(sample_distinct(n, target, g)).astype(np.int64)
     s_index = {int(s): i for i, s in enumerate(skeleton)}
 
     # -- step 2: skeleton graph via ell-hop distances -----------------------
     Dl = hop_limited_distances(G, ell, skeleton)
     ledger.charge(int(ell + target), label="partial-distance-estimation")
     sub = Dl[:, skeleton]  # (|S|, |S|)
-    iu, ju = np.triu_indices(target, k=1)
+    iu, ju = all_pairs(target)
     finite = np.isfinite(sub[iu, ju])
     GS = Graph(
         target,

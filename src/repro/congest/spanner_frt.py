@@ -36,6 +36,7 @@ from repro.graph.shortest_paths import (
 )
 from repro.mbf.dense import FlatStates, LEFilter, aggregate, dense_iteration
 from repro.metric.spanner import baswana_sen_spanner
+from repro.util.pairs import all_pairs, sample_distinct
 from repro.util.rng import as_rng
 
 __all__ = ["SpannerFRTResult", "spanner_frt"]
@@ -79,13 +80,13 @@ def spanner_frt(
     if ell is None:
         ell = int(math.ceil(math.sqrt(n)))
     target = int(min(n, max(2, math.ceil(c * math.sqrt(n) * log_n))))
-    skeleton = np.sort(g.choice(n, size=target, replace=False)).astype(np.int64)
+    skeleton = np.sort(sample_distinct(n, target, g)).astype(np.int64)
 
     # -- step 2: skeleton graph ----------------------------------------------
     Dl = hop_limited_distances(G, ell, skeleton)
     ledger.charge(int(ell + target), label="partial-distance-estimation")
     sub = Dl[:, skeleton]
-    iu, ju = np.triu_indices(target, k=1)
+    iu, ju = all_pairs(target)
     finite = np.isfinite(sub[iu, ju])
     GS = Graph(
         target,

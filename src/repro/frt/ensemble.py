@@ -63,6 +63,10 @@ class FRTEnsemble:
                 or f.n != n
                 or any(
                     int(f.depths[s]) != e.tree.k
+                    # reprolint: disable=float-distance-eq (bit-identity
+                    # holds: forest betas are copied from the embeddings at
+                    # construction, never recomputed, so != detects any
+                    # mismatched pairing exactly)
                     or float(f.betas[s]) != e.tree.beta
                     or f.num_nodes(s) != e.tree.num_nodes
                     for s, e in enumerate(self.embeddings)

@@ -16,13 +16,10 @@ import numpy as np
 from repro.frt.tree import FRTTree
 from repro.graph.core import Graph
 from repro.graph.shortest_paths import dijkstra_distances
+from repro.util.pairs import all_pairs, sample_distinct, unrank_pairs
 from repro.util.rng import as_rng
 
 __all__ = ["StretchReport", "evaluate_stretch", "sample_pairs", "all_pairs"]
-
-# Transient block size (keys per unranking batch) for all_pairs: bounds the
-# scratch arrays at a few tens of MiB however large the clique gets.
-_ALL_PAIRS_BLOCK = 1 << 20
 
 
 @dataclass
@@ -65,71 +62,7 @@ def sample_pairs(n: int, count: int | None, rng=None) -> tuple[np.ndarray, np.nd
         raise ValueError("count must be non-negative")
     if count is None or count >= total:
         return all_pairs(n)
-    return _unrank_pairs(n, _sample_distinct_keys(total, count, g))
-
-
-def all_pairs(n: int) -> tuple[np.ndarray, np.ndarray]:
-    """All upper-triangular pairs ``(i, j)``, ``i < j``, in row-major order.
-
-    Equal to ``np.triu_indices(n, k=1)`` but built by exact triangular
-    unranking in bounded blocks: ``triu_indices`` materializes an
-    ``(n, n)`` boolean mask (plus its inversion) on top of the
-    O(n²)-entries output, a transient that dominates peak memory for large
-    cliques; here the scratch stays at a few tens of MiB regardless of
-    ``n`` (pinned by a tracemalloc regression test).
-    """
-    total = n * (n - 1) // 2
-    iu = np.empty(total, dtype=np.int64)
-    ju = np.empty(total, dtype=np.int64)
-    for lo in range(0, total, _ALL_PAIRS_BLOCK):
-        hi = min(lo + _ALL_PAIRS_BLOCK, total)
-        keys = np.arange(lo, hi, dtype=np.int64)
-        iu[lo:hi], ju[lo:hi] = _unrank_pairs(n, keys)
-    return iu, ju
-
-
-def _unrank_pairs(n: int, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Map pair keys ``0..n(n-1)/2 - 1`` to upper-triangular ``(i, j)``.
-
-    Row ``i`` (pairs ``(i, i+1..n-1)``) owns the keys in
-    ``[cum[i-1], cum[i])`` where ``cum[i] = Σ_{r<=i} (n-1-r)``; a
-    ``searchsorted`` over the exact integer cumulative counts replaces the
-    float-``sqrt`` closed form, which can misassign keys at row boundaries
-    once the radicand exceeds float64's integer range.
-    """
-    keys = np.asarray(keys, dtype=np.int64)
-    if keys.size and (keys.min() < 0 or keys.max() >= n * (n - 1) // 2):
-        raise ValueError("pair key out of range")
-    cum = np.cumsum(np.arange(n - 1, 0, -1, dtype=np.int64))
-    iu = np.searchsorted(cum, keys, side="right").astype(np.int64)
-    row_start = np.where(iu > 0, cum[iu - 1], 0)
-    ju = iu + 1 + (keys - row_start)
-    return iu, ju
-
-
-def _sample_distinct_keys(total: int, count: int, g) -> np.ndarray:
-    """``count`` distinct uniform keys from ``0..total-1``, O(count) memory.
-
-    ``Generator.choice(total, size=count, replace=False)`` materializes a
-    full length-``total`` permutation — O(n²) for a handful of pairs.
-    Instead, draw with replacement and keep first occurrences until
-    ``count`` distinct keys accumulate: the first ``count`` distinct values
-    of an i.i.d. uniform stream are a uniform without-replacement sample
-    (Floyd-style rejection, vectorized per batch).  For dense requests
-    (``count`` a large fraction of ``total``) the permutation is optimal
-    and O(total) is the output size anyway, so fall back to it.
-    """
-    if count * 3 >= total:
-        return g.permutation(total)[:count].astype(np.int64)
-    chosen = np.empty(0, dtype=np.int64)
-    while chosen.size < count:
-        need = count - chosen.size
-        batch = g.integers(0, total, size=need + need // 2 + 16, dtype=np.int64)
-        batch = batch[~np.isin(batch, chosen)]
-        _, first = np.unique(batch, return_index=True)
-        fresh = batch[np.sort(first)]  # distinct, in draw order
-        chosen = np.concatenate([chosen, fresh[:need]])
-    return chosen
+    return unrank_pairs(n, sample_distinct(total, count, g))
 
 
 def evaluate_stretch(

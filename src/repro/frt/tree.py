@@ -39,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mbf.dense import FlatStates
+from repro.util.pairs import all_pairs
 
 __all__ = ["FRTTree", "build_frt_tree"]
 
@@ -126,7 +127,7 @@ class FRTTree:
 
     def distance_matrix(self) -> np.ndarray:
         """Dense ``(n, n)`` tree metric (verification-scale helper)."""
-        iu, ju = np.triu_indices(self.n, k=1)
+        iu, ju = all_pairs(self.n)
         d = self.distances(iu, ju)
         out = np.zeros((self.n, self.n))
         out[iu, ju] = d

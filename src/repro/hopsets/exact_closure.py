@@ -15,6 +15,7 @@ import numpy as np
 from repro.graph.core import Graph
 from repro.graph.shortest_paths import dijkstra_distances
 from repro.hopsets.base import HopSetResult
+from repro.util.pairs import all_pairs
 
 __all__ = ["exact_closure_hopset"]
 
@@ -33,7 +34,7 @@ def exact_closure_hopset(G: Graph, *, max_n: int = 4096) -> HopSetResult:
     if not G.is_connected():
         raise ValueError("exact closure requires a connected graph")
     D = dijkstra_distances(G)
-    iu, ju = np.triu_indices(G.n, k=1)
+    iu, ju = all_pairs(G.n)
     extra = np.stack([iu, ju], axis=1)
     weights = D[iu, ju]
     before = G.m

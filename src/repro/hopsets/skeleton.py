@@ -35,6 +35,7 @@ from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 from repro.graph.core import Graph
 from repro.graph.shortest_paths import hop_limited_distances
 from repro.hopsets.base import HopSetResult
+from repro.util.pairs import all_pairs
 from repro.util.rng import as_rng
 
 __all__ = ["hub_hopset", "default_d0"]
@@ -108,7 +109,7 @@ def hub_hopset(
     hub_exact = _csgraph_dijkstra(hub_graph, directed=False)
 
     # Hub clique edges with exact distances.
-    iu, ju = np.triu_indices(hubs.size, k=1)
+    iu, ju = all_pairs(hubs.size)
     w = hub_exact[iu, ju]
     ok = np.isfinite(w)
     extra = np.stack([hubs[iu[ok]], hubs[ju[ok]]], axis=1)

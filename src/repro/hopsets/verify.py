@@ -15,6 +15,7 @@ import numpy as np
 from repro.graph.core import Graph
 from repro.graph.shortest_paths import dijkstra_distances, hop_limited_distances
 from repro.hopsets.base import HopSetResult
+from repro.util.pairs import sample_distinct
 from repro.util.rng import as_rng
 
 __all__ = ["HopSetReport", "verify_hopset", "count_triangle_violations"]
@@ -51,7 +52,7 @@ def verify_hopset(
     if sample_sources is None or sample_sources >= n:
         sources = np.arange(n, dtype=np.int64)
     else:
-        sources = np.sort(g.choice(n, size=sample_sources, replace=False))
+        sources = np.sort(sample_distinct(n, sample_sources, g))
     exact = dijkstra_distances(G, sources)
     hop = hop_limited_distances(result.graph, result.d, sources)
     finite = np.isfinite(exact) & (exact > 0)

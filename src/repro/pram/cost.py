@@ -164,7 +164,13 @@ class _NullLedger(CostLedger):
     def serial(self, work: int, depth: int | None = None, label: str = "serial") -> None:
         return
 
-    def parallel_for(self, items: int, work_per_item: int = 1, depth_per_item: int = 1, label: str = "parallel_for") -> None:
+    def parallel_for(
+        self,
+        items: int,
+        work_per_item: int = 1,
+        depth_per_item: int = 1,
+        label: str = "parallel_for",
+    ) -> None:
         return
 
     def reduction(self, items: int, label: str = "reduction") -> None:

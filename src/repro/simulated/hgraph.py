@@ -17,6 +17,7 @@ from repro.graph.core import Graph
 from repro.graph.shortest_paths import dijkstra_distances, hop_limited_distances
 from repro.hopsets.base import HopSetResult
 from repro.simulated.levels import sample_levels
+from repro.util.pairs import all_pairs
 
 __all__ = ["SimulatedGraph", "minplus_matmul", "spd_of_weight_matrix"]
 
@@ -165,7 +166,7 @@ class SimulatedGraph:
 
     def to_graph(self) -> Graph:
         """Export ``H`` as an explicit :class:`Graph` (complete)."""
-        iu, ju = np.triu_indices(self.n, k=1)
+        iu, ju = all_pairs(self.n)
         mask = np.isfinite(self.weights[iu, ju])
         return Graph(
             self.n,

@@ -1,6 +1,7 @@
 """Small shared utilities: RNG handling, validation, array helpers."""
 
-from repro.util.rng import as_rng, spawn_rngs
+from repro.util.pairs import all_pairs, sample_distinct, unrank_pairs
+from repro.util.rng import as_rng, spawn_rngs, split_seed
 from repro.util.validation import (
     check_index,
     check_positive,
@@ -11,6 +12,10 @@ from repro.util.validation import (
 __all__ = [
     "as_rng",
     "spawn_rngs",
+    "split_seed",
+    "all_pairs",
+    "unrank_pairs",
+    "sample_distinct",
     "check_index",
     "check_positive",
     "check_probability",

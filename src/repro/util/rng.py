@@ -1,41 +1,80 @@
-"""Seeded randomness helpers.
+"""Seeded randomness helpers — the one place RNGs are created and spawned.
 
 Every randomized routine in this library accepts an ``rng`` argument that may
-be ``None`` (fresh entropy), an integer seed, or an existing
-:class:`numpy.random.Generator`.  Centralizing the coercion keeps call sites
-uniform and makes experiments reproducible by passing a single integer.
+be ``None`` (fresh entropy), an integer seed, a ``SeedSequence``, or an
+existing :class:`numpy.random.Generator`.  Centralizing the coercion keeps
+call sites uniform and makes experiments reproducible by passing a single
+integer.
+
+This module is the *only* one allowed to call ``np.random.default_rng``
+(enforced by reprolint rule ``rng-source``): ensemble seeding is derivable
+from this file alone.  The two spawning idioms both live in
+:func:`spawn_rngs`:
+
+- from a ``Generator`` (or int/None): draw ``k`` int64 seeds from the base
+  stream — the PR-1 ensemble convention, kept bit-compatible so seeded
+  ensembles reproduce across versions;
+- from a ``SeedSequence``: ``ss.spawn(k)`` — the collision-resistant spawn
+  tree used by ``Pipeline.sample_ensemble(seed=...)`` (children are
+  independent of how many draws the base stream has already served).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_rng", "spawn_rngs"]
+__all__ = ["as_rng", "spawn_rngs", "split_seed"]
 
 
-def as_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+def as_rng(
+    rng: int | np.random.SeedSequence | np.random.Generator | None = None,
+) -> np.random.Generator:
     """Coerce ``rng`` into a :class:`numpy.random.Generator`.
 
     Parameters
     ----------
     rng:
-        ``None`` for OS entropy, an ``int`` seed, or a ``Generator`` which is
+        ``None`` for OS entropy, an ``int`` seed or ``SeedSequence``
+        (both fed to ``default_rng``), or a ``Generator`` which is
         returned unchanged (so callers can thread one generator through a
         pipeline).
     """
-    if rng is None or isinstance(rng, (int, np.integer)):
+    if rng is None or isinstance(rng, (int, np.integer, np.random.SeedSequence)):
         return np.random.default_rng(rng)
     if isinstance(rng, np.random.Generator):
         return rng
-    raise TypeError(f"expected None, int, or numpy Generator, got {type(rng)!r}")
+    raise TypeError(
+        f"expected None, int, SeedSequence, or numpy Generator, got {type(rng)!r}"
+    )
 
 
-def spawn_rngs(rng: int | np.random.Generator | None, k: int) -> list[np.random.Generator]:
+def spawn_rngs(
+    rng: int | np.random.SeedSequence | np.random.Generator | None, k: int
+) -> list[np.random.Generator]:
     """Derive ``k`` independent child generators from ``rng``.
 
     Used when a pipeline stage fans out into parallel sub-computations that
     must be reproducible independently of scheduling order.
+
+    A ``SeedSequence`` spawns children through its own spawn tree (no state
+    is consumed from any stream); any other seed material takes the legacy
+    path — coerce via :func:`as_rng`, then draw ``k`` int64 child seeds
+    from the base stream — which is bit-compatible with the PR-1 ensemble
+    convention (``Pipeline.sample_ensemble`` without an explicit seed).
     """
+    if isinstance(rng, np.random.SeedSequence):
+        return [np.random.default_rng(s) for s in rng.spawn(k)]
     base = as_rng(rng)
     seeds = base.integers(0, 2**63 - 1, size=k, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def split_seed(seed: int, k: int) -> list[np.random.SeedSequence]:
+    """Split an integer seed into ``k`` independent ``SeedSequence`` streams.
+
+    The entry point of the seeded-ensemble convention: each returned
+    sequence may seed one stage (feed it to :func:`as_rng`) or spawn its
+    own children (:func:`spawn_rngs`), and siblings never collide however
+    many draws each side consumes.
+    """
+    return np.random.SeedSequence(seed).spawn(k)

@@ -1,0 +1,10 @@
+"""Seeded violation: bare except masks ConvergenceError."""
+
+__all__ = ["attempt"]
+
+
+def attempt(fn):
+    try:
+        return fn()
+    except:  # noqa: E722
+        return None

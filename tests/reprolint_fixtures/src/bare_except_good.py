@@ -1,0 +1,10 @@
+"""Clean twin: catches the narrowest exception it handles."""
+
+__all__ = ["attempt"]
+
+
+def attempt(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

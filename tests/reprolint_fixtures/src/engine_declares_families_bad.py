@@ -1,0 +1,9 @@
+"""Seeded violation: solve hook without a families declaration."""
+
+from repro.api import MBFEngine, register_engine
+
+__all__ = ["install"]
+
+
+def install(my_solve):
+    register_engine(MBFEngine(name="phantom", solve=my_solve))

@@ -1,0 +1,15 @@
+"""Clean twin: families declared alongside the solve hook."""
+
+from repro.api import MBFEngine, register_engine
+
+__all__ = ["install"]
+
+
+def install(my_solve):
+    register_engine(
+        MBFEngine(
+            name="phantom",
+            solve=my_solve,
+            families=frozenset({"distance"}),
+        )
+    )

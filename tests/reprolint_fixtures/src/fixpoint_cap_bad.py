@@ -1,0 +1,9 @@
+"""Seeded violation: hand-rolled capped loop silently truncates."""
+
+__all__ = ["relax"]
+
+
+def relax(engine, states, max_iterations):
+    for _ in range(max_iterations):
+        states = engine.step(states)
+    return states

@@ -1,0 +1,9 @@
+"""Clean twin: the cap threads through the engine API."""
+
+from repro.mbf.engine import run_to_fixpoint
+
+__all__ = ["relax"]
+
+
+def relax(engine, states, max_iterations):
+    return run_to_fixpoint(engine, states, max_iterations=max_iterations)

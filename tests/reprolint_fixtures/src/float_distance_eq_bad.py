@@ -1,0 +1,7 @@
+"""Seeded violation: exact float equality on distances."""
+
+__all__ = ["same_distance"]
+
+
+def same_distance(dist_a, dist_b):
+    return dist_a == dist_b

@@ -1,0 +1,8 @@
+"""Seeded violation: shared mutable default."""
+
+__all__ = ["collect"]
+
+
+def collect(x, acc=[]):
+    acc.append(x)
+    return acc

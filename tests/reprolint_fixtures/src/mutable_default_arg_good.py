@@ -1,0 +1,10 @@
+"""Clean twin: None default, constructed per call."""
+
+__all__ = ["collect"]
+
+
+def collect(x, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(x)
+    return acc

@@ -1,0 +1,7 @@
+"""Seeded violations: phantom export + unexported public def."""
+
+__all__ = ["ghost"]
+
+
+def visible():
+    return 1

@@ -1,0 +1,11 @@
+"""Clean twin: __all__ matches the public surface exactly."""
+
+__all__ = ["visible"]
+
+
+def visible():
+    return 1
+
+
+def _helper():
+    return 2

@@ -1,0 +1,18 @@
+"""Seeded violations: three quadratic-transient idioms."""
+
+import numpy as np
+
+__all__ = ["pairs", "pick", "scratch"]
+
+
+def pairs(n):
+    iu, ju = np.triu_indices(n, k=1)
+    return iu, ju
+
+
+def pick(g, n, k):
+    return g.choice(n, size=k, replace=False)
+
+
+def scratch(n):
+    return np.zeros((n, n))

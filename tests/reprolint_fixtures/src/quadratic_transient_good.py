@@ -1,0 +1,19 @@
+"""Clean twin: bounded-transient idioms from repro.util.pairs."""
+
+import numpy as np
+
+from repro.util.pairs import all_pairs, sample_distinct
+
+__all__ = ["pairs", "pick", "scratch"]
+
+
+def pairs(n):
+    return all_pairs(n)
+
+
+def pick(g, n, k):
+    return sample_distinct(n, k, g)
+
+
+def scratch(n):
+    return np.zeros((n, 3))

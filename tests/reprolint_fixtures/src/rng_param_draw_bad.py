@@ -1,0 +1,11 @@
+"""Seeded violation: draws rank/beta even when passed explicitly."""
+
+__all__ = ["sample_tree"]
+
+
+def sample_tree(n, rng, rank=None, beta=None):
+    perm = rng.permutation(n)  # always advances the stream
+    if rank is not None:
+        perm = rank
+    b = rng.uniform(1.0, 2.0) if beta is not None else beta
+    return perm, b

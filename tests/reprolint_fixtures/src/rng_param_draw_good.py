@@ -1,0 +1,10 @@
+"""Clean twin: draws only on the `param is None` branch."""
+
+__all__ = ["sample_tree"]
+
+
+def sample_tree(n, rng, rank=None, beta=None):
+    if rank is None:
+        rank = rng.permutation(n)
+    b = rng.uniform(1.0, 2.0) if beta is None else beta
+    return rank, b

@@ -1,0 +1,10 @@
+"""Seeded violation: constructs a generator outside repro.util.rng."""
+
+import numpy as np
+
+__all__ = ["draw"]
+
+
+def draw():
+    g = np.random.default_rng(0)
+    return g.standard_normal(3)

@@ -1,0 +1,10 @@
+"""Clean twin: generator construction routed through repro.util.rng."""
+
+from repro.util.rng import as_rng
+
+__all__ = ["draw"]
+
+
+def draw():
+    g = as_rng(0)
+    return g.standard_normal(3)

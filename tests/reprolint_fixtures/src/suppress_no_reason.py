@@ -1,0 +1,9 @@
+"""Reason-less disable: does not suppress and is itself reported."""
+
+import numpy as np
+
+__all__ = ["pairs"]
+
+
+def pairs(n):
+    return np.triu_indices(n, k=1)  # reprolint: disable=quadratic-transient

@@ -1,0 +1,7 @@
+"""A disable naming a rule that does not exist is reported."""
+
+__all__ = ["add"]
+
+
+def add(a, b):
+    return a + b  # reprolint: disable=no-such-rule (typo'd rule name)

@@ -1,0 +1,8 @@
+"""A disable that matches nothing rots; the engine reports it."""
+
+__all__ = ["add"]
+
+
+def add(a, b):
+    # reprolint: disable=quadratic-transient (stale: the idiom was removed)
+    return a + b

@@ -1,0 +1,15 @@
+"""Valid trailing and standalone suppressions with written reasons."""
+
+import numpy as np
+
+__all__ = ["pairs", "pick"]
+
+
+def pairs(n):
+    return np.triu_indices(n, k=1)  # reprolint: disable=quadratic-transient (fixture: parity reference for the bounded path)
+
+
+def pick(g, n, k):
+    # reprolint: disable=quadratic-transient (fixture: standalone form,
+    # reason wraps across continuation comment lines)
+    return g.choice(n, size=k, replace=False)

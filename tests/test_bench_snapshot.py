@@ -1,0 +1,136 @@
+"""The BENCH_<pr>.json snapshot convention and the regression gate.
+
+Validates (a) the committed snapshot's shape — it must be a
+``merge_trend.py`` record CI's ``check_trend.py`` step can read — and
+(b) the gate logic itself on synthetic trend records: latest-snapshot
+selection, ratio thresholding, the no-prior no-op, and the
+self-comparison guard after ``--write``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from check_trend import compare, latest_snapshot, main  # noqa: E402
+
+
+def _trend(means: dict[str, float], file: str = "bench-x.json") -> dict:
+    return {
+        "schema": 1,
+        "commit": None,
+        "sources": [
+            {
+                "file": file,
+                "benchmarks": [
+                    {"name": name, "mean_s": mean, "extra_info": {}}
+                    for name, mean in means.items()
+                ],
+            }
+        ],
+    }
+
+
+# -- committed snapshot shape --------------------------------------------------
+
+
+def test_committed_snapshot_exists_and_is_readable():
+    snap = latest_snapshot(REPO_ROOT)
+    assert snap is not None, "no BENCH_<pr>.json committed at the repo root"
+    trend = json.loads(snap.read_text())
+    assert trend.get("schema") == 1
+    benches = [b for s in trend["sources"] for b in s["benchmarks"]]
+    assert benches, "snapshot contains no benchmarks"
+    assert all(b.get("name") and b.get("mean_s") is not None for b in benches)
+
+
+def test_committed_snapshot_covers_ci_smoke_manifest():
+    """Every CI smoke artifact has measurements in the snapshot."""
+    manifest = json.loads((REPO_ROOT / "benchmarks" / "ci_smoke.json").read_text())
+    snap = json.loads(latest_snapshot(REPO_ROOT).read_text())
+    snapshot_files = {s["file"] for s in snap["sources"] if s["benchmarks"]}
+    for entry in manifest["entries"]:
+        assert f"{entry['artifact']}.json" in snapshot_files, (
+            f"smoke entry {entry['name']} missing from the snapshot — "
+            "regenerate with check_trend.py --write"
+        )
+
+
+# -- gate logic ----------------------------------------------------------------
+
+
+def test_latest_snapshot_picks_highest_pr(tmp_path):
+    assert latest_snapshot(tmp_path) is None
+    for pr in (2, 10, 6):
+        (tmp_path / f"BENCH_{pr}.json").write_text("{}")
+    (tmp_path / "BENCH_nope.json").write_text("{}")  # non-numeric: ignored
+    assert latest_snapshot(tmp_path).name == "BENCH_10.json"
+
+
+def test_compare_flags_only_threshold_crossings():
+    prev = _trend({"a": 1.0, "b": 1.0, "c": 1.0, "gone": 1.0})
+    cur = _trend({"a": 1.4, "b": 2.5, "c": 0.3, "new": 1.0})
+    result = compare(cur, prev, threshold=2.0)
+    assert result["matched"] == 3
+    assert [r["name"] for r in result["regressions"]] == ["b"]
+    assert [r["name"] for r in result["improved"]] == ["c"]
+    assert result["only_current"] == [("bench-x.json", "new")]
+    assert result["only_previous"] == [("bench-x.json", "gone")]
+
+
+def test_compare_matches_on_file_and_name():
+    prev = _trend({"a": 1.0}, file="bench-e3.json")
+    cur = _trend({"a": 10.0}, file="bench-e4.json")
+    assert compare(cur, prev, threshold=2.0)["matched"] == 0
+
+
+@pytest.fixture
+def trend_file(tmp_path):
+    def write(name: str, means: dict[str, float]) -> Path:
+        p = tmp_path / name
+        p.write_text(json.dumps(_trend(means)))
+        return p
+
+    return write
+
+
+def test_main_noop_without_prior_snapshot(tmp_path, trend_file, capsys):
+    trend = trend_file("trend.json", {"a": 1.0})
+    summary = tmp_path / "summary.md"
+    rc = main([str(trend), "--snapshot-dir", str(tmp_path),
+               "--summary", str(summary)])
+    assert rc == 0
+    assert "No prior snapshot" in summary.read_text()
+
+
+def test_main_detects_regression(tmp_path, trend_file):
+    prev = trend_file("trend_prev.json", {"a": 1.0})
+    (tmp_path / "BENCH_5.json").write_text(prev.read_text())
+    ok = trend_file("trend_ok.json", {"a": 1.5})
+    bad = trend_file("trend_bad.json", {"a": 5.0})
+    assert main([str(ok), "--snapshot-dir", str(tmp_path)]) == 0
+    assert main([str(bad), "--snapshot-dir", str(tmp_path)]) == 1
+    # Tighter threshold flips the ok run too.
+    assert main([str(ok), "--snapshot-dir", str(tmp_path),
+                 "--threshold", "1.2"]) == 1
+
+
+def test_main_write_skips_self_comparison(tmp_path, trend_file):
+    """--write into the snapshot dir must not compare the file to itself."""
+    bad = trend_file("trend.json", {"a": 100.0})
+    snap = tmp_path / "BENCH_6.json"
+    rc = main([str(bad), "--snapshot-dir", str(tmp_path),
+               "--write", str(snap)])
+    assert rc == 0 and snap.exists()
+    # With an older snapshot present, --write still gates against *it*.
+    (tmp_path / "BENCH_5.json").write_text(
+        json.dumps(_trend({"a": 1.0})))
+    rc = main([str(bad), "--snapshot-dir", str(tmp_path),
+               "--write", str(snap)])
+    assert rc == 1

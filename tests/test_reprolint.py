@@ -1,0 +1,50 @@
+"""The repo-wide reprolint gate: every tracked file is clean per rule.
+
+Parametrized as one test case per (file, rule) pair so a violation
+pinpoints exactly which invariant broke where, instead of one opaque
+repo-level failure.  Files are analyzed once and cached; the fan-out is
+assertion-only.
+
+This mirrors CI's ``python -m tools.reprolint src tests benchmarks
+examples`` step (which additionally applies the checked-in baseline —
+kept empty, see ``test_checked_in_baseline_is_empty``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import all_rules, analyze_file
+from tools.reprolint.engine import META_RULES, collect_files
+
+REPO_ROOT = Path(__file__).parent.parent
+SCAN_ROOTS = ["src", "tests", "benchmarks", "examples"]
+
+FILES = [
+    f.relative_to(REPO_ROOT).as_posix()
+    for f in collect_files([REPO_ROOT / r for r in SCAN_ROOTS])
+]
+RULE_NAMES = sorted(r.name for r in all_rules()) + list(META_RULES)
+
+
+@lru_cache(maxsize=None)
+def _findings_by_rule(rel: str) -> dict[str, list[str]]:
+    findings, _ = analyze_file(REPO_ROOT / rel, root=REPO_ROOT)
+    out: dict[str, list[str]] = {}
+    for f in findings:
+        out.setdefault(f.rule, []).append(f.render())
+    return out
+
+
+def test_scan_roots_nonempty():
+    assert len(FILES) > 50, "walker found suspiciously few files"
+
+
+@pytest.mark.parametrize("rule", RULE_NAMES)
+@pytest.mark.parametrize("rel", FILES)
+def test_file_clean_for_rule(rel, rule):
+    hits = _findings_by_rule(rel).get(rule)
+    assert not hits, "\n".join(hits or [])

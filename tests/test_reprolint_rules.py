@@ -1,0 +1,201 @@
+"""Per-rule positive/negative fixture tests plus engine mechanics.
+
+Each rule in the catalogue has a seeded-violation fixture
+(``tests/reprolint_fixtures/src/<rule>_bad.py``) and a clean twin
+(``<rule>_good.py``).  The positive case must fire the rule at the
+expected line(s); the negative twin must be *fully* clean — not just
+quiet on its own rule — so fixtures double as cross-rule false-positive
+probes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import all_rules, analyze_file, analyze_paths
+from tools.reprolint.engine import (
+    apply_baseline,
+    collect_files,
+    load_baseline,
+    write_baseline,
+)
+
+FIXTURE_ROOT = Path(__file__).parent / "reprolint_fixtures"
+
+#: rule name -> expected finding lines in its _bad fixture
+EXPECTED_BAD_LINES = {
+    "rng-source": [9],
+    "rng-param-draw": [7, 10],
+    "fixpoint-cap": [7],
+    "quadratic-transient": [9, 14, 18],
+    "float-distance-eq": [7],
+    "engine-declares-families": [9],
+    "public-api-all": [3, 6],
+    "mutable-default-arg": [6],
+    "bare-except": [9],
+}
+
+RULE_NAMES = sorted(EXPECTED_BAD_LINES)
+
+
+def _fixture(name: str) -> Path:
+    return FIXTURE_ROOT / "src" / name
+
+
+def _analyze(name: str):
+    findings, ctx = analyze_file(_fixture(name), root=FIXTURE_ROOT)
+    assert ctx is not None, f"{name} failed to parse"
+    return findings
+
+
+def test_catalogue_matches_fixture_table():
+    assert sorted(r.name for r in all_rules()) == RULE_NAMES
+
+
+@pytest.mark.parametrize("rule", RULE_NAMES)
+def test_rule_fires_on_bad_fixture(rule):
+    fname = rule.replace("-", "_") + "_bad.py"
+    findings = _analyze(fname)
+    lines = [f.line for f in findings if f.rule == rule]
+    assert lines == EXPECTED_BAD_LINES[rule]
+
+
+@pytest.mark.parametrize("rule", RULE_NAMES)
+def test_clean_twin_is_fully_clean(rule):
+    fname = rule.replace("-", "_") + "_good.py"
+    assert _analyze(fname) == []
+
+
+# -- suppression mechanics -----------------------------------------------------
+
+
+def test_suppression_with_reason_silences_trailing_and_standalone():
+    assert _analyze("suppress_with_reason.py") == []
+
+
+def test_suppression_without_reason_does_not_suppress():
+    findings = _analyze("suppress_no_reason.py")
+    rules = sorted(f.rule for f in findings)
+    assert rules == ["bad-suppression", "quadratic-transient"]
+
+
+def test_unused_suppression_is_reported():
+    findings = _analyze("suppress_unused.py")
+    assert [f.rule for f in findings] == ["unused-suppression"]
+
+
+def test_unknown_rule_in_disable_is_reported():
+    findings = _analyze("suppress_unknown_rule.py")
+    assert "bad-suppression" in {f.rule for f in findings}
+
+
+# -- engine mechanics ----------------------------------------------------------
+
+
+def test_parse_error_is_a_finding(tmp_path):
+    bad = tmp_path / "src" / "broken.py"
+    bad.parent.mkdir()
+    bad.write_text("def oops(:\n")
+    findings, ctx = analyze_file(bad, root=tmp_path)
+    assert ctx is None
+    assert [f.rule for f in findings] == ["parse-error"]
+
+
+def test_collect_files_skips_fixture_and_cache_dirs(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "reprolint_fixtures").mkdir()
+    (tmp_path / "pkg" / "reprolint_fixtures" / "bad.py").write_text("x = 1\n")
+    files = collect_files([tmp_path])
+    assert [f.name for f in files] == ["mod.py"]
+    # Explicit file arguments bypass the directory skip list.
+    direct = collect_files([tmp_path / "pkg" / "reprolint_fixtures" / "bad.py"])
+    assert len(direct) == 1
+
+
+def test_baseline_round_trip(tmp_path):
+    """write_baseline -> load_baseline -> apply drops exactly those findings."""
+    findings, ctx = analyze_file(
+        _fixture("quadratic_transient_bad.py"), root=FIXTURE_ROOT
+    )
+    assert findings
+    bl = tmp_path / "baseline.json"
+    write_baseline(findings, {ctx.path: ctx}, bl)
+    budget = load_baseline(bl)
+    assert apply_baseline(findings, ctx, budget) == []
+    # A fresh finding on an unbaselined line survives.
+    fresh_budget = load_baseline(bl)
+    fresh_budget.pop(next(iter(fresh_budget)))
+    assert len(apply_baseline(findings, ctx, fresh_budget)) >= 1
+
+
+def test_baseline_is_line_drift_tolerant(tmp_path):
+    """Entries key on stripped line text, not line numbers."""
+    src = tmp_path / "src"
+    src.mkdir()
+    mod = src / "m.py"
+    code = (
+        '"""Doc."""\n\nimport numpy as np\n\n__all__ = ["f"]\n\n\n'
+        "def f(n):\n    return np.triu_indices(n)\n"
+    )
+    mod.write_text(code)
+    findings, ctx = analyze_file(mod, root=tmp_path)
+    bl = tmp_path / "baseline.json"
+    write_baseline(findings, {ctx.path: ctx}, bl)
+    # Shift every line down by three: the baseline must still match.
+    mod.write_text('"""Doc."""\n# pad\n# pad\n# pad\n' + code.split("\n", 1)[1])
+    shifted, ctx2 = analyze_file(mod, root=tmp_path)
+    assert shifted and shifted[0].line != findings[0].line
+    assert apply_baseline(shifted, ctx2, load_baseline(bl)) == []
+
+
+def test_checked_in_baseline_is_empty():
+    """Policy: violations are fixed or suppressed with reasons, not banked."""
+    repo_baseline = (
+        Path(__file__).parent.parent / "tools" / "reprolint" / "baseline.json"
+    )
+    assert load_baseline(repo_baseline) == {}
+
+
+def test_analyze_paths_applies_baseline(tmp_path):
+    findings, ctxs = analyze_paths([FIXTURE_ROOT / "src"], root=FIXTURE_ROOT)
+    assert findings  # the fixture tree is intentionally dirty
+    bl = tmp_path / "baseline.json"
+    write_baseline(findings, ctxs, bl)
+    remaining, _ = analyze_paths(
+        [FIXTURE_ROOT / "src"], root=FIXTURE_ROOT, baseline=load_baseline(bl)
+    )
+    assert remaining == []
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_summary(tmp_path, capsys, monkeypatch):
+    from tools.reprolint.__main__ import main
+
+    # Scopes key on the top path segment, so run from the fixture root
+    # (exactly how CI runs from the repo root).
+    monkeypatch.chdir(FIXTURE_ROOT)
+    summary = tmp_path / "summary.md"
+    assert main(["src/rng_source_bad.py", "--summary", str(summary)]) == 1
+    assert "rng-source" in capsys.readouterr().out
+    assert "rng-source" in summary.read_text()
+    assert main(["src/rng_source_good.py"]) == 0
+    assert main(["--list-rules"]) == 0
+    assert "quadratic-transient" in capsys.readouterr().out
+
+
+def test_cli_write_baseline(tmp_path, monkeypatch):
+    from tools.reprolint.__main__ import main
+
+    monkeypatch.chdir(FIXTURE_ROOT)
+    bl = tmp_path / "bl.json"
+    dirty = "src/bare_except_bad.py"
+    assert main([dirty, "--write-baseline", "--baseline", str(bl)]) == 0
+    assert main([dirty, "--baseline", str(bl), "-q"]) == 0
+    assert main([dirty, "--baseline", str(bl), "--no-baseline", "-q"]) == 1

@@ -6,13 +6,8 @@ import numpy as np
 import pytest
 
 from repro.frt import evaluate_stretch, sample_frt_tree
-from repro.frt.stretch import (
-    StretchReport,
-    _sample_distinct_keys,
-    _unrank_pairs,
-    all_pairs,
-    sample_pairs,
-)
+from repro.frt.stretch import StretchReport, all_pairs, sample_pairs
+from repro.util.pairs import sample_distinct, unrank_pairs
 from repro.graph import generators as gen
 from repro.graph.core import Graph
 
@@ -66,10 +61,10 @@ class TestAllPairs:
     def test_blocked_unranking_consistent(self, monkeypatch):
         # Shrinking the block size must not change the output: the blocks
         # are a pure memory bound, not a semantic boundary.
-        import repro.frt.stretch as stretch
+        import repro.util.pairs as pairs
 
         want = all_pairs(40)
-        monkeypatch.setattr(stretch, "_ALL_PAIRS_BLOCK", 7)
+        monkeypatch.setattr(pairs, "_ALL_PAIRS_BLOCK", 7)
         got = all_pairs(40)
         assert np.array_equal(got[0], want[0])
         assert np.array_equal(got[1], want[1])
@@ -86,7 +81,7 @@ class TestUnrankPairs:
         # np.triu_indices order exactly.
         n = 300
         total = n * (n - 1) // 2
-        iu, ju = _unrank_pairs(n, np.arange(total))
+        iu, ju = unrank_pairs(n, np.arange(total))
         eu, ev = np.triu_indices(n, k=1)
         assert np.array_equal(iu, eu)
         assert np.array_equal(ju, ev)
@@ -111,7 +106,7 @@ class TestUnrankPairs:
                 if 0 <= key < total
             }
         )
-        iu, ju = _unrank_pairs(n, np.array(keys))
+        iu, ju = unrank_pairs(n, np.array(keys))
         for key, i, j in zip(keys, iu.tolist(), ju.tolist()):
             assert row_start(i) <= key < row_start(i + 1)
             assert j == i + 1 + (key - row_start(i))
@@ -119,9 +114,9 @@ class TestUnrankPairs:
 
     def test_out_of_range_keys_rejected(self):
         with pytest.raises(ValueError):
-            _unrank_pairs(5, np.array([10]))  # total = 10, keys go 0..9
+            unrank_pairs(5, np.array([10]))  # total = 10, keys go 0..9
         with pytest.raises(ValueError):
-            _unrank_pairs(5, np.array([-1]))
+            unrank_pairs(5, np.array([-1]))
 
 
 class TestSampleDistinctKeys:
@@ -145,7 +140,7 @@ class TestSampleDistinctKeys:
 
     def test_distinct_and_in_range(self):
         for count in (1, 10, 33, 60, 99):
-            keys = _sample_distinct_keys(100, count, np.random.default_rng(count))
+            keys = sample_distinct(100, count, np.random.default_rng(count))
             assert keys.size == count
             assert np.unique(keys).size == count
             assert keys.min() >= 0 and keys.max() < 100
@@ -158,7 +153,7 @@ class TestSampleDistinctKeys:
         g = np.random.default_rng(0)
         freq = np.zeros(total)
         for _ in range(reps):
-            np.add.at(freq, _sample_distinct_keys(total, count, g), 1)
+            np.add.at(freq, sample_distinct(total, count, g), 1)
         expected = reps * count / total
         assert np.all(freq > 0.8 * expected)
         assert np.all(freq < 1.2 * expected)

@@ -93,7 +93,8 @@ class TestKSSPAndMSSP:
         states, _ = run_to_fixpoint(g, inst.algo, inst.x0)
         out = inst.decode(states)
         for v in range(g.n):
-            want = {s: D[v, s] for D_s, s in sorted((D[v, s], s) for s in range(g.n))[:k] for s in [s]}
+            nearest = sorted((D[v, s], s) for s in range(g.n))[:k]
+            want = {s: d for d, s in nearest}
             got = {w: out[v, w] for w in range(g.n) if np.isfinite(out[v, w])}
             assert got == pytest.approx(want)
 

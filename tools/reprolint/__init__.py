@@ -1,0 +1,60 @@
+"""reprolint — stdlib-only static analysis for this repo's hard-won invariants.
+
+Every rule codifies an invariant a previous PR fixed by hand (silent RNG
+state consumption, uncapped fixpoint loops, quadratic transients, ...), so
+review discipline becomes a machine-checked gate instead of reviewer
+memory.  Pure standard library (``ast`` + ``tokenize``): the analyzer runs
+before any dependency is installed.
+
+Usage::
+
+    python -m tools.reprolint src tests benchmarks examples
+    python -m tools.reprolint --list-rules
+    python -m tools.reprolint src --write-baseline
+
+Suppress a single finding inline, with a written reason (a reason-less
+disable is itself an error)::
+
+    chosen = g.choice(pool, size=k, replace=False)  # reprolint: disable=quadratic-transient (dense branch: pool is O(output))
+
+or as a standalone comment (applies to the next statement line)::
+
+    # reprolint: disable=quadratic-transient (dense branch: pool is
+    # O(output) here, see the surrounding size guard)
+    chosen = g.choice(pool, size=k, replace=False)
+
+Grandfathered findings live in ``tools/reprolint/baseline.json``
+(``--write-baseline`` regenerates it); the checked-in baseline is kept
+empty — every violation is either fixed or carries an inline reason.
+
+See the "Static analysis" section of API.md for the rule catalogue.
+"""
+
+from tools.reprolint.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    collect_files,
+    get_rule,
+    load_baseline,
+    register_rule,
+)
+
+# Importing the rules module populates the registry.
+from tools.reprolint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "collect_files",
+    "get_rule",
+    "load_baseline",
+    "register_rule",
+]

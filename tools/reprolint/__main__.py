@@ -1,0 +1,103 @@
+"""Command-line entry point: ``python -m tools.reprolint <paths...>``.
+
+Standard library only — runnable in CI before any dependency install.
+Exit status is 1 iff findings remain after suppressions and the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+from tools.reprolint.engine import (
+    BASELINE_PATH,
+    all_rules,
+    analyze_paths,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _list_rules() -> str:
+    lines = ["reprolint rules:", ""]
+    for rule in all_rules():
+        lines.append(f"  {rule.name}: {rule.summary}")
+        lines.append(f"      scope: {', '.join(rule.scope)}")
+        for path, reason in sorted(rule.exempt.items()):
+            lines.append(f"      exempt: {path} ({reason})")
+        for chunk in rule.invariant.split(". "):
+            lines.append(f"      | {chunk.strip().rstrip('.')}." if chunk else "")
+    return "\n".join(lines)
+
+
+def _summary_markdown(counts: Counter, total: int) -> str:
+    lines = ["### reprolint", ""]
+    if not total:
+        lines.append("No findings. :white_check_mark:")
+    else:
+        lines += [f"**{total} finding(s)**", "", "| rule | count |", "| --- | ---: |"]
+        lines += [f"| `{rule}` | {n} |" for rule, n in counts.most_common()]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Repo-specific stdlib-only static analysis.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to scan")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: {BASELINE_PATH})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report grandfathered findings too")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline from current findings")
+    parser.add_argument("--summary", default=None, metavar="FILE",
+                        help="append a markdown summary (use "
+                             "$GITHUB_STEP_SUMMARY in CI)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-finding output")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: src tests benchmarks examples)")
+
+    baseline = {} if (args.no_baseline or args.write_baseline) \
+        else load_baseline(args.baseline)
+    findings, ctxs = analyze_paths(args.paths, baseline=baseline)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline else BASELINE_PATH
+        write_baseline(findings, ctxs, target)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    counts = Counter(f.rule for f in findings)
+    if not args.quiet:
+        for f in findings:
+            print(f.render())
+    if findings:
+        per_rule = ", ".join(f"{r}={n}" for r, n in counts.most_common())
+        print(f"reprolint: {len(findings)} finding(s) ({per_rule})",
+              file=sys.stderr)
+    else:
+        n_files = len(ctxs)
+        print(f"reprolint: clean ({n_files} files)", file=sys.stderr)
+
+    if args.summary:
+        with open(args.summary, "a") as fh:
+            fh.write(_summary_markdown(counts, len(findings)))
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

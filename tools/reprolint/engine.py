@@ -1,0 +1,393 @@
+"""The reprolint rule-plugin engine: findings, suppressions, baseline, walker.
+
+Standard library only (``ast`` + ``tokenize``) — this must run in a bare
+container before any dependency is installed.
+
+Layering: this module knows nothing about the individual rules; they live
+in :mod:`tools.reprolint.rules` and register themselves via
+:func:`register_rule`.  The engine owns everything rule-independent:
+
+- :class:`LintContext` — one parsed file (source, AST, parent links);
+- inline suppressions — ``# reprolint: disable=<rule>,(<reason>)``
+  comments, scanned with ``tokenize`` so strings containing the marker
+  are never misread.  A disable without a written reason, naming an
+  unknown rule, or matching no finding is itself reported
+  (``bad-suppression`` / ``unused-suppression``): the suppression surface
+  must not rot;
+- the baseline — grandfathered findings keyed by
+  ``(path, rule, stripped line text)`` so entries survive unrelated line
+  drift but die with the code they describe.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "collect_files",
+    "get_rule",
+    "load_baseline",
+    "register_rule",
+    "write_baseline",
+]
+
+#: Directory names never scanned: caches plus the analyzer's own seeded-
+#: violation test corpus (tests/reprolint_fixtures), which exists to be dirty.
+SKIP_DIRS = {"__pycache__", ".git", "reprolint_fixtures"}
+
+#: Rule names reserved for engine-emitted findings.
+META_RULES = ("parse-error", "bad-suppression", "unused-suppression")
+
+_DISABLE_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+?)\s*(\(\s*(\S.*)?)?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a precise location (1-indexed line/col)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# reprolint: disable=...`` comment.
+
+    ``target_line`` is the code line the disable governs: the comment's own
+    line for trailing comments, the next code line for standalone ones.
+    """
+
+    comment_line: int
+    target_line: int
+    rules: tuple[str, ...]
+    has_reason: bool
+    used: set = field(default_factory=set)
+
+
+class LintContext:
+    """Everything a rule needs about one file, parsed exactly once."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST):
+        self.path = path  # repo-relative posix path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._parents: dict[int, ast.AST] | None = None
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (lazy full-tree link pass)."""
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    self._parents[id(child)] = outer
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def finding(self, node: ast.AST | int, rule: "Rule | str", message: str) -> Finding:
+        name = rule if isinstance(rule, str) else rule.name
+        if isinstance(node, int):
+            line, col = node, 1
+        else:
+            line, col = node.lineno, node.col_offset + 1
+        return Finding(self.path, line, col, name, message)
+
+    def line_text(self, line: int) -> str:
+        return self.lines[line - 1].strip() if 1 <= line <= len(self.lines) else ""
+
+
+class Rule:
+    """Base class for reprolint rules (subclass + :func:`register_rule`).
+
+    Class attributes document the rule for ``--list-rules`` and API.md:
+    ``name`` (the ``disable=`` key), ``summary`` (one line), ``invariant``
+    (the contract it enforces and the past bug it encodes), ``scope``
+    (top-level directories it applies to — e.g. tests are exempt from
+    rules whose naive idiom is the parity reference there), and ``exempt``
+    (repo-relative path → written reason; the allowlist is part of the
+    rule, so every exemption is documented where it is enforced).
+    """
+
+    name: str = ""
+    summary: str = ""
+    invariant: str = ""
+    scope: tuple[str, ...] = ("src", "tests", "benchmarks", "examples")
+    exempt: dict[str, str] = {}
+
+    def applies(self, path: str) -> bool:
+        top = path.split("/", 1)[0]
+        return top in self.scope and path not in self.exempt
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule under its name."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} must set a name")
+    if rule.name in _RULES or rule.name in META_RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _RULES[rule.name] = rule
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    return tuple(_RULES[name] for name in sorted(_RULES))
+
+
+def get_rule(name: str) -> Rule:
+    return _RULES[name]
+
+
+def known_rule_names() -> set[str]:
+    return set(_RULES) | set(META_RULES)
+
+
+# -- suppressions --------------------------------------------------------------
+
+
+def scan_suppressions(source: str) -> tuple[list[Suppression], list[Finding]]:
+    """Parse ``# reprolint: disable=`` comments via ``tokenize``.
+
+    Returns the suppressions plus any malformed ones as ``bad-suppression``
+    findings (missing reason, unknown rule name).  Paths are filled in by
+    the caller.
+    """
+    comments: list[tuple[int, int, str]] = []  # (line, col, text)
+    code_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [], []
+    trivial = {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comments.append((tok.start[0], tok.start[1], tok.string))
+        elif tok.type not in trivial:
+            # Multi-line tokens (strings) cover a line span.
+            code_lines.update(range(tok.start[0], tok.end[0] + 1))
+    sorted_code = sorted(code_lines)
+    suppressions: list[Suppression] = []
+    bad: list[Finding] = []
+    for line, col, text in comments:
+        m = _DISABLE_RE.search(text)
+        if m is None:
+            if "reprolint" in text and "disable" in text:
+                bad.append(
+                    Finding("", line, col + 1, "bad-suppression",
+                            "unparseable reprolint disable comment")
+                )
+            continue
+        rules = tuple(r.strip() for r in m.group(1).split(",") if r.strip())
+        # The reason must open on the disable line itself; continuation
+        # comment lines may finish the sentence.
+        has_reason = m.group(3) is not None
+        if line in code_lines:
+            target = line
+        else:
+            target = next((c for c in sorted_code if c > line), -1)
+        unknown = [r for r in rules if r not in known_rule_names()]
+        if unknown:
+            bad.append(
+                Finding("", line, col + 1, "bad-suppression",
+                        f"unknown rule(s) {', '.join(unknown)} in disable "
+                        f"(known: {', '.join(sorted(known_rule_names()))})")
+            )
+        if not has_reason:
+            bad.append(
+                Finding("", line, col + 1, "bad-suppression",
+                        "suppression without a written reason — add "
+                        "'(<why this violation is acceptable>)'")
+            )
+        suppressions.append(
+            Suppression(comment_line=line, target_line=target, rules=rules,
+                        has_reason=has_reason)
+        )
+    return suppressions, bad
+
+
+# -- baseline ------------------------------------------------------------------
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: str | Path | None = None) -> dict[tuple[str, str, str], int]:
+    """Baseline as ``(path, rule, line_text) -> count`` budget map."""
+    p = Path(path) if path is not None else BASELINE_PATH
+    if not p.exists():
+        return {}
+    data = json.loads(p.read_text())
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in data.get("entries", []):
+        key = (entry["path"], entry["rule"], entry["line"])
+        budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
+    return budget
+
+
+def write_baseline(findings: Iterable[Finding], ctxs: dict[str, LintContext],
+                   path: str | Path | None = None) -> None:
+    """Persist current findings as the new grandfathered baseline."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for f in findings:
+        ctx = ctxs.get(f.path)
+        text = ctx.line_text(f.line) if ctx else ""
+        key = (f.path, f.rule, text)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"path": p, "rule": r, "line": t, "count": c}
+        for (p, r, t), c in sorted(counts.items())
+    ]
+    p = Path(path) if path is not None else BASELINE_PATH
+    p.write_text(json.dumps({"version": 1, "entries": entries}, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: list[Finding],
+    ctx: LintContext,
+    budget: dict[tuple[str, str, str], int],
+) -> list[Finding]:
+    """Drop findings covered by the baseline budget (mutates ``budget``)."""
+    kept: list[Finding] = []
+    for f in findings:
+        key = (f.path, f.rule, ctx.line_text(f.line))
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            kept.append(f)
+    return kept
+
+
+# -- driver --------------------------------------------------------------------
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """All ``*.py`` files under ``paths``, skipping :data:`SKIP_DIRS`."""
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file() and p.suffix == ".py":
+            out.append(p)
+            continue
+        for f in sorted(p.rglob("*.py")):
+            # Skip-dirs are judged below the scan root: pointing the tool
+            # *at* a fixture tree explicitly still works.
+            if not SKIP_DIRS.intersection(f.relative_to(p).parts):
+                out.append(f)
+    return out
+
+
+def _relpath(path: Path, root: Path | None) -> str:
+    base = root if root is not None else Path.cwd()
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_file(
+    path: str | Path,
+    *,
+    root: str | Path | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> tuple[list[Finding], LintContext | None]:
+    """Run ``rules`` (default: all registered) on one file.
+
+    Returns post-suppression findings, including engine-emitted
+    ``parse-error`` / ``bad-suppression`` / ``unused-suppression`` ones.
+    """
+    p = Path(path)
+    rel = _relpath(p, Path(root) if root is not None else None)
+    source = p.read_text()
+    try:
+        tree = ast.parse(source, filename=str(p))
+    except SyntaxError as exc:
+        return [
+            Finding(rel, exc.lineno or 1, (exc.offset or 0) + 1, "parse-error",
+                    f"syntax error: {exc.msg}")
+        ], None
+    ctx = LintContext(rel, source, tree)
+    suppressions, bad = scan_suppressions(source)
+    raw: list[Finding] = []
+    for rule in (all_rules() if rules is None else rules):
+        if rule.applies(rel):
+            raw.extend(rule.check(ctx))
+    kept: list[Finding] = []
+    for f in raw:
+        matched = False
+        for sup in suppressions:
+            if sup.target_line == f.line and f.rule in sup.rules and sup.has_reason:
+                sup.used.add(f.rule)
+                matched = True
+        if not matched:
+            kept.append(f)
+    for f in bad:
+        kept.append(Finding(rel, f.line, f.col, f.rule, f.message))
+    for sup in suppressions:
+        if sup.has_reason and not sup.used:
+            kept.append(
+                Finding(rel, sup.comment_line, 1, "unused-suppression",
+                        f"disable={','.join(sup.rules)} matched no finding — "
+                        "remove it (or the rule regressed)")
+            )
+    kept.sort(key=lambda f: (f.line, f.col, f.rule))
+    return kept, ctx
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    *,
+    root: str | Path | None = None,
+    baseline: dict[tuple[str, str, str], int] | None = None,
+) -> tuple[list[Finding], dict[str, LintContext]]:
+    """Analyze every file under ``paths``; apply the ``baseline`` budget."""
+    findings: list[Finding] = []
+    ctxs: dict[str, LintContext] = {}
+    budget = dict(baseline) if baseline else {}
+    for f in collect_files(paths):
+        file_findings, ctx = analyze_file(f, root=root)
+        if ctx is not None:
+            ctxs[ctx.path] = ctx
+            if budget:
+                file_findings = apply_baseline(file_findings, ctx, budget)
+        findings.extend(file_findings)
+    return findings, ctxs

@@ -1,0 +1,582 @@
+"""The repo-specific rule catalogue.
+
+Each rule encodes an invariant that an earlier PR established by hand:
+the ``invariant`` attribute says what the contract is and which failure
+class it guards against, so a finding is reviewable without archaeology.
+Scopes and exemption allowlists are part of the rule definition — an
+exemption without a written reason does not exist.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from tools.reprolint.engine import Finding, LintContext, Rule, register_rule
+
+__all__ = []  # rules register themselves; nothing here is a public API
+
+
+# -- shared AST helpers --------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``np.random.default_rng`` -> that string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a Name/Attribute chain (or None)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def keyword_value(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def is_const(node: ast.AST | None, value) -> bool:
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+# -- R1: centralized RNG construction ------------------------------------------
+
+
+@register_rule
+class RngSourceRule(Rule):
+    name = "rng-source"
+    summary = "np.random construction only in repro.util.rng"
+    invariant = (
+        "All generator construction/seeding goes through repro.util.rng "
+        "(as_rng / spawn_rngs / split_seed).  Scattered default_rng() calls "
+        "made the serial-vs-batched parity guarantee unauditable; the spawn "
+        "idiom (SeedSequence vs legacy int64 draws) is pinned in exactly one "
+        "module."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {
+        "src/repro/util/rng.py": "the one sanctioned construction site",
+    }
+
+    _FORBIDDEN_PREFIXES = ("np.random.", "numpy.random.")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and name.startswith(self._FORBIDDEN_PREFIXES):
+                    yield ctx.finding(
+                        node, self,
+                        f"call to {name}() — construct generators via "
+                        "repro.util.rng (as_rng/spawn_rngs/split_seed)",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.startswith("numpy.random"):
+                    yield ctx.finding(
+                        node, self,
+                        "import from numpy.random — route RNG construction "
+                        "through repro.util.rng instead",
+                    )
+
+
+# -- R2: explicit parameters must not consume RNG state ------------------------
+
+
+@register_rule
+class RngParamDrawRule(Rule):
+    name = "rng-param-draw"
+    summary = "draws for overridable quantities must sit under `param is None`"
+    invariant = (
+        "A function that accepts both an rng and an explicit override for a "
+        "sampled quantity (rank/ranks, beta/betas) must only draw that "
+        "quantity when the override is None.  Drawing unconditionally "
+        "silently advances the stream and breaks replay: passing the "
+        "recorded rank back in must reproduce the exact tree (the PR-1 "
+        "_draw_randomness regression class)."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {}
+
+    #: override parameter name -> generator methods that sample it
+    _PARAM_DRAWS = {
+        "rank": ("permutation",),
+        "ranks": ("permutation",),
+        "beta": ("uniform",),
+        "betas": ("uniform",),
+    }
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = fn.args
+            names = [a.arg for a in args.args + args.kwonlyargs + args.posonlyargs]
+            if "rng" not in names:
+                continue
+            overrides = [p for p in names if p in self._PARAM_DRAWS]
+            if not overrides:
+                continue
+            for call in ast.walk(fn):
+                if not isinstance(call, ast.Call):
+                    continue
+                attr = (call.func.attr
+                        if isinstance(call.func, ast.Attribute) else None)
+                for param in overrides:
+                    if attr in self._PARAM_DRAWS[param]:
+                        if not self._guarded(ctx, call, param, fn):
+                            yield ctx.finding(
+                                call, self,
+                                f"'{attr}' draw not guarded by "
+                                f"'{param} is None' — an explicitly passed "
+                                f"{param} must not consume RNG state",
+                            )
+
+    @staticmethod
+    def _is_none_test(test: ast.expr, param: str) -> str | None:
+        """'is' if test is `param is None`, 'isnot' for `is not None`."""
+        if (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and isinstance(test.left, ast.Name) and test.left.id == param
+                and is_const(test.comparators[0], None)):
+            if isinstance(test.ops[0], ast.Is):
+                return "is"
+            if isinstance(test.ops[0], ast.IsNot):
+                return "isnot"
+        return None
+
+    def _guarded(self, ctx: LintContext, call: ast.Call, param: str,
+                 fn: ast.AST) -> bool:
+        node: ast.AST = call
+        for anc in ctx.ancestors(call):
+            if isinstance(anc, (ast.If, ast.IfExp)):
+                kind = self._is_none_test(anc.test, param)
+                if kind is not None:
+                    if isinstance(anc, ast.IfExp):
+                        in_body = node is anc.body
+                    else:
+                        in_body = any(node is s or self._contains(s, node)
+                                      for s in anc.body)
+                    if (kind == "is") == in_body:
+                        return True
+            if anc is fn:
+                break
+            node = anc
+        return False
+
+    @staticmethod
+    def _contains(tree: ast.AST, target: ast.AST) -> bool:
+        return any(n is target for n in ast.walk(tree))
+
+
+# -- R3: fixpoint iteration caps -----------------------------------------------
+
+
+@register_rule
+class FixpointCapRule(Rule):
+    name = "fixpoint-cap"
+    summary = "iteration caps thread through run_to_fixpoint, not bare range()"
+    invariant = (
+        "Fixpoint iteration is capped via the engine API "
+        "(run_to_fixpoint/run_dense max_iterations=...), which raises "
+        "ConvergenceError on exhaustion.  A hand-rolled `for _ in "
+        "range(cap)` silently truncates: non-converged LE lists looked "
+        "converged and poisoned every downstream tree."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {
+        "src/repro/mbf/engine.py": "implements the capped loop itself",
+        "src/repro/mbf/dense.py": "implements the capped loop itself",
+        "src/repro/mbf/scalar.py": "implements the capped loop itself",
+        "src/repro/oracle/oracle.py": "owns the h-hop cap semantics",
+    }
+
+    _CAP_NAME = re.compile(r"(max_?iter|iter_?cap|n_?iter|max_?rounds?|^cap$)")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.For):
+                continue
+            it = node.iter
+            if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                    and it.func.id == "range"):
+                continue
+            for sub in ast.walk(it):
+                name = None
+                if isinstance(sub, ast.Name):
+                    name = sub.id
+                elif isinstance(sub, ast.Attribute):
+                    name = sub.attr
+                if name and self._CAP_NAME.search(name.lower()):
+                    yield ctx.finding(
+                        node, self,
+                        f"bare `for ... in range({name}...)` fixpoint loop — "
+                        "pass max_iterations through run_to_fixpoint/run_dense "
+                        "so exhaustion raises instead of truncating",
+                    )
+                    break
+
+
+# -- R4: quadratic transients --------------------------------------------------
+
+
+@register_rule
+class QuadraticTransientRule(Rule):
+    name = "quadratic-transient"
+    summary = "no O(n^2) scratch allocations outside repro.util.pairs"
+    invariant = (
+        "Pair enumeration and distinct sampling go through repro.util.pairs "
+        "(all_pairs / unrank_pairs / sample_distinct), which bound peak "
+        "memory.  np.triu_indices builds an (n, n) boolean mask, "
+        "Generator.choice(replace=False) materializes a full permutation, "
+        "and same-name (n, n) zeros/empty allocations are the exact "
+        "transients that OOM'd the n=20k stretch runs."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {
+        "src/repro/util/pairs.py": "the sanctioned bounded implementation",
+        "src/repro/mbf/zoo.py": (
+            "all-pairs problem decoders: the (n, n) distance map *is* the "
+            "declared output, not a transient"
+        ),
+    }
+
+    _ALLOC_FNS = {"zeros", "empty", "ones", "full"}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func) or ""
+            attr = terminal_name(node.func)
+            if attr == "triu_indices":
+                yield ctx.finding(
+                    node, self,
+                    "np.triu_indices materializes an (n, n) mask — use "
+                    "repro.util.pairs.all_pairs (same arrays, blocked)",
+                )
+            elif attr == "choice":
+                replace = keyword_value(node, "replace")
+                if is_const(replace, False):
+                    yield ctx.finding(
+                        node, self,
+                        "Generator.choice(replace=False) builds a full "
+                        "permutation — use repro.util.pairs.sample_distinct "
+                        "(Floyd sampling, O(count) memory)",
+                    )
+            elif name.split(".")[-1] in self._ALLOC_FNS and node.args:
+                shape = node.args[0]
+                if (isinstance(shape, ast.Tuple) and len(shape.elts) == 2
+                        and all(isinstance(e, ast.Name) for e in shape.elts)
+                        and shape.elts[0].id == shape.elts[1].id):
+                    n = shape.elts[0].id
+                    yield ctx.finding(
+                        node, self,
+                        f"({n}, {n}) materialization — chunk the pair axis "
+                        "(cf. FRTForest.distances) or suppress with the "
+                        "reason it is output-sized",
+                    )
+
+
+# -- R5: float equality on distances -------------------------------------------
+
+
+@register_rule
+class FloatDistanceEqRule(Rule):
+    name = "float-distance-eq"
+    summary = "no ==/!= on distance-like floats outside parity-pinned tests"
+    invariant = (
+        "Distances, radii, and betas are floats produced by different "
+        "summation orders across engines; exact equality only holds on the "
+        "bit-identical parity paths, which live in tests.  Library code "
+        "compares with tolerances — or carries a suppression explaining why "
+        "bit-identity is guaranteed at that site."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {}
+
+    _DISTANCE = re.compile(
+        r"(^|_)(dist|dists|distance|distances|dt|dg|dh|radius|radii|"
+        r"beta|betas|stretch|weight|weights)($|_)"
+    )
+    _SIZE_ATTRS = {"shape", "size", "ndim", "dtype"}
+    _INF_NAMES = {"inf", "INF", "infty"}
+
+    def _unwrap(self, node: ast.expr) -> ast.expr:
+        # float(x) / np.float64(x) wrappers don't change what is compared.
+        if (isinstance(node, ast.Call) and len(node.args) == 1
+                and terminal_name(node.func) in {"float", "float64"}):
+            return self._unwrap(node.args[0])
+        return node
+
+    def _is_distance_like(self, node: ast.expr) -> bool:
+        node = self._unwrap(node)
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        name = terminal_name(node)
+        if name is None or name in self._SIZE_ATTRS:
+            return False
+        if isinstance(node, ast.Attribute) and node.attr in self._SIZE_ATTRS:
+            return False
+        return bool(self._DISTANCE.search(name.lower()))
+
+    def _is_exact_sentinel(self, node: ast.expr) -> bool:
+        node = self._unwrap(node)
+        name = terminal_name(node)
+        if name in self._INF_NAMES:
+            return True
+        # Comparisons against integral constants (0, 1.0, -1 sentinels) are
+        # well-defined for IEEE floats *assigned* from those constants.
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            v = node.value
+            return isinstance(v, bool) or v == int(v)
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_exact_sentinel(left) or self._is_exact_sentinel(right):
+                    continue
+                if self._is_distance_like(left) or self._is_distance_like(right):
+                    yield ctx.finding(
+                        node, self,
+                        "float ==/!= on a distance-like value — use "
+                        "np.isclose/tolerances, or suppress with the "
+                        "bit-identity argument",
+                    )
+                    break
+
+
+# -- R6: engines declare families ----------------------------------------------
+
+
+@register_rule
+class EngineFamiliesRule(Rule):
+    name = "engine-declares-families"
+    summary = "MBFEngine(solve=...) must also declare families=..."
+    invariant = (
+        "Capability-based auto-selection (engines_for/resolve_engine) keys "
+        "on the declared families frozenset; an engine registered with a "
+        "solve hook but no families is invisible to selection and only "
+        "reachable by exact name — the silent-fallback bug PR 3 fixed."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if terminal_name(node.func) != "MBFEngine":
+                continue
+            solve = keyword_value(node, "solve")
+            if solve is None or is_const(solve, None):
+                continue
+            families = keyword_value(node, "families")
+            if families is None or is_const(families, None):
+                yield ctx.finding(
+                    node, self,
+                    "MBFEngine constructed with solve= but no families= — "
+                    "undeclared engines are invisible to capability-based "
+                    "selection",
+                )
+
+
+# -- R7: __all__ integrity -----------------------------------------------------
+
+
+@register_rule
+class DunderAllRule(Rule):
+    name = "public-api-all"
+    summary = "__all__ exists, is resolvable, and covers public defs"
+    invariant = (
+        "Every library module declares __all__; each entry resolves to a "
+        "name the module actually binds, and every public top-level "
+        "def/class appears in it.  A missing entry made "
+        "distance_to_set_via_oracle invisible to star-imports and to the "
+        "API docs."
+    )
+    scope = ("src",)
+    exempt = {}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        body = getattr(ctx.tree, "body", [])
+        all_node: ast.AST | None = None
+        all_entries: list[str] | None = None
+        defined: set[str] = set()
+        has_star = False
+        has_getattr = False
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defined.add(stmt.name)
+                if stmt.name == "__getattr__":
+                    has_getattr = True
+            elif isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        defined.add(tgt.id)
+                        if tgt.id == "__all__":
+                            all_node = stmt
+                            all_entries = self._literal_entries(stmt.value)
+                    elif isinstance(tgt, (ast.Tuple, ast.List)):
+                        for e in tgt.elts:
+                            if isinstance(e, ast.Name):
+                                defined.add(e.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                defined.add(stmt.target.id)
+            elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.target.id == "__all__" and all_entries is not None:
+                    extra = self._literal_entries(stmt.value)
+                    if extra is not None:
+                        all_entries.extend(extra)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    defined.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        defined.add(alias.asname or alias.name)
+                        if (alias.asname or alias.name) == "__all__":
+                            all_node = stmt
+                            all_entries = []  # imported wholesale; unresolvable
+                            has_star = True  # treat entries as unknown
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # Conditional defs (TYPE_CHECKING, optional deps) count.
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                        ast.ClassDef)):
+                        defined.add(sub.name)
+                    elif isinstance(sub, ast.Assign):
+                        for tgt in sub.targets:
+                            if isinstance(tgt, ast.Name):
+                                defined.add(tgt.id)
+                    elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        for alias in sub.names:
+                            if alias.name == "*":
+                                has_star = True
+                            else:
+                                defined.add(
+                                    (alias.asname or alias.name).split(".")[0])
+
+        if all_node is None:
+            yield ctx.finding(
+                1, self,
+                "module defines no __all__ — declare the public surface "
+                "explicitly",
+            )
+            return
+        if all_entries is None:
+            # Computed __all__ (comprehension etc.): can't check statically.
+            return
+        if not has_star and not has_getattr:
+            for entry in all_entries:
+                if entry not in defined:
+                    yield ctx.finding(
+                        all_node, self,
+                        f"__all__ lists {entry!r} but the module never binds "
+                        "it",
+                    )
+        public_defs = {
+            stmt.name
+            for stmt in body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef))
+            and not stmt.name.startswith("_")
+        }
+        exported = set(all_entries)
+        for name in sorted(public_defs - exported):
+            stmt = next(s for s in body
+                        if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                          ast.ClassDef)) and s.name == name)
+            yield ctx.finding(
+                stmt, self,
+                f"public {'class' if isinstance(stmt, ast.ClassDef) else 'function'} "
+                f"{name!r} missing from __all__ (prefix with _ if internal)",
+            )
+
+    @staticmethod
+    def _literal_entries(value: ast.expr) -> list[str] | None:
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            return [e.value for e in value.elts]
+        return None
+
+
+# -- R8: mutable default arguments ---------------------------------------------
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    name = "mutable-default-arg"
+    summary = "no list/dict/set literals as parameter defaults"
+    invariant = (
+        "Mutable defaults are evaluated once and shared across calls; for "
+        "config-carrying pipeline functions that means cross-call state "
+        "leakage.  Use None + in-body construction."
+    )
+
+    _CTOR_NAMES = {"list", "dict", "set"}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(fn.args.defaults) + [
+                d for d in fn.args.kw_defaults if d is not None
+            ]
+            for d in defaults:
+                mutable = isinstance(d, (ast.List, ast.Dict, ast.Set, ast.SetComp,
+                                         ast.ListComp, ast.DictComp))
+                if (isinstance(d, ast.Call) and isinstance(d.func, ast.Name)
+                        and d.func.id in self._CTOR_NAMES):
+                    mutable = True
+                if mutable:
+                    yield ctx.finding(
+                        d, self,
+                        f"mutable default argument in {fn.name}() — default "
+                        "to None and construct inside the body",
+                    )
+
+
+# -- R9: bare except -----------------------------------------------------------
+
+
+@register_rule
+class BareExceptRule(Rule):
+    name = "bare-except"
+    summary = "no bare `except:` clauses"
+    invariant = (
+        "A bare except swallows KeyboardInterrupt/SystemExit and masks "
+        "ConvergenceError, the pipeline's primary failure signal.  Catch "
+        "the narrowest exception that the recovery actually handles."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    node, self,
+                    "bare `except:` — name the exception type (it also "
+                    "catches KeyboardInterrupt/SystemExit)",
+                )
