@@ -70,10 +70,10 @@ def _subtree_weights(forest: FRTForest, leaf_weights: np.ndarray) -> np.ndarray:
 
 def hst_kmedian_dp_forest(
     forest: FRTForest,
-    leaf_weights: np.ndarray,
-    k: int,
+    leaf_weights: np.ndarray,  # shape: (n,) float64
+    k: int,  # shape: scalar
     *,
-    allowed: np.ndarray | None = None,
+    allowed: np.ndarray | None = None,  # shape: (n,) bool
 ) -> tuple[np.ndarray, list[np.ndarray]]:
     """Optimal k-median on every tree of ``forest`` in one vectorized DP.
 
@@ -223,7 +223,10 @@ def _backtrack(
     return out
 
 
-def route_demands_on_forest(forest: FRTForest, demands) -> np.ndarray:
+def route_demands_on_forest(
+    forest: FRTForest,
+    demands,
+) -> np.ndarray:  # shape: -> (total_nodes,) float64
     """Aggregate per-tree-edge flows of all samples, ``(total_nodes,)``.
 
     The batched counterpart of
@@ -269,7 +272,10 @@ def route_demands_on_forest(forest: FRTForest, demands) -> np.ndarray:
     return flows
 
 
-def cable_costs_array(flows: np.ndarray, cables) -> np.ndarray:
+def cable_costs_array(
+    flows: np.ndarray,  # shape: (m,) float64
+    cables,
+) -> np.ndarray:  # shape: -> (m,) float64
     """Vectorized :func:`~repro.apps.buyatbulk.cable_cost` over a flow array.
 
     ``min_i c_i · ceil(f / u_i - 1e-12)`` per entry, ``0`` where ``f <= 0``
@@ -286,7 +292,11 @@ def cable_costs_array(flows: np.ndarray, cables) -> np.ndarray:
     return np.where(flows > 0, out, 0.0)
 
 
-def forest_tree_costs(forest: FRTForest, flows: np.ndarray, cables) -> np.ndarray:
+def forest_tree_costs(
+    forest: FRTForest,
+    flows: np.ndarray,  # shape: (total_nodes,) float64
+    cables,
+) -> np.ndarray:
     """Per-sample tree routing cost, ``(size,)``.
 
     ``costs[s] = Σ_{used edges of sample s} cable_cost(flow) · ω_T(edge)``

@@ -178,10 +178,10 @@ class FRTForest:
 
 
 def build_frt_forest(
-    le_lists: BatchedFlatStates,
-    ranks: np.ndarray,
-    betas: np.ndarray,
-    wmin: float,
+    le_lists: BatchedFlatStates,  # shape: csr(k*n)
+    ranks: np.ndarray,  # shape: (k, n) int64
+    betas: np.ndarray,  # shape: (k,) float64
+    wmin: float,  # shape: scalar
 ) -> FRTForest:
     """Construct all ``k`` FRT trees of an ensemble in one vectorized pass.
 

@@ -129,6 +129,8 @@ class FRTTree:
         """Dense ``(n, n)`` tree metric (verification-scale helper)."""
         iu, ju = all_pairs(self.n)
         d = self.distances(iu, ju)
+        # reprolint: disable=quadratic-transient-flow (the (n, n) matrix is
+        # the declared output of this verification-scale helper)
         out = np.zeros((self.n, self.n))
         out[iu, ju] = d
         out[ju, iu] = d

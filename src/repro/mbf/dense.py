@@ -84,11 +84,11 @@ __all__ = [
 
 
 def segmented_searchsorted(
-    offsets: np.ndarray,
-    values: np.ndarray,
-    queries: np.ndarray,
-    side: str = "right",
-) -> np.ndarray:
+    offsets: np.ndarray,  # shape: (s+1,) int64
+    values: np.ndarray,  # shape: (total,) float64
+    queries: np.ndarray,  # shape: (s, q) float64
+    side: str = "right",  # shape: scalar
+) -> np.ndarray:  # shape: -> (s, q) int64
     """Per-segment :func:`numpy.searchsorted` over a CSR array, in one call.
 
     ``values[offsets[j]:offsets[j+1]]`` is segment ``j``, sorted ascending;
@@ -211,6 +211,8 @@ class FlatStates:
 
     def to_matrix(self) -> np.ndarray:
         """Dense ``(n, n)`` matrix with ``inf`` for absent entries."""
+        # reprolint: disable=quadratic-transient-flow (the dense (n, n)
+        # matrix is the declared output of this debugging helper)
         out = np.full((self.n, self.n), INF)
         owner = np.repeat(np.arange(self.n), self.counts())
         out[owner, self.ids] = self.dists
@@ -509,7 +511,10 @@ class TopKFilter(FilterSpec):
         return ok
 
 
-def check_rank(n: int, rank: np.ndarray) -> np.ndarray:
+def check_rank(
+    n: int,  # shape: scalar
+    rank: np.ndarray,  # shape: (n,) int64
+) -> np.ndarray:  # shape: -> (n,) int64
     """Validate an LE random order: an int64 permutation of ``0..n-1``.
 
     The one canonical rank validation, shared by the LE drivers
@@ -612,12 +617,12 @@ def _as_ledgers(ledger: CostLedger) -> list[CostLedger] | None:
 
 
 def propagate(
-    states: FlatStates,
-    src: np.ndarray,
-    dst: np.ndarray,
-    w: np.ndarray,
+    states: FlatStates,  # shape: csr(n)
+    src: np.ndarray,  # shape: (E,) int64
+    dst: np.ndarray,  # shape: (E,) int64
+    w: np.ndarray,  # shape: (E,) float64
     *,
-    include_self: bool = True,
+    include_self: bool = True,  # shape: scalar
     ledger: CostLedger = NULL_LEDGER,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Emit all propagated entries: returns flat ``(targets, ids, dists)``.
@@ -648,14 +653,14 @@ def propagate(
 
 
 def aggregate(
-    n: int,
-    tgt: np.ndarray,
-    ids: np.ndarray,
-    dists: np.ndarray,
+    n: int,  # shape: scalar
+    tgt: np.ndarray,  # shape: (m,) int64
+    ids: np.ndarray,  # shape: (m,) int64
+    dists: np.ndarray,  # shape: (m,) float64
     spec: FilterSpec,
     *,
     ledger: CostLedger = NULL_LEDGER,
-) -> FlatStates:
+) -> FlatStates:  # shape: -> csr(n)
     """Group flat entries by target and apply the filter ``spec``.
 
     One global stable lexsort by ``(target, <spec keys>)`` realizes the
@@ -672,7 +677,7 @@ def aggregate(
 
 def dense_iteration(
     G: Graph,
-    states: FlatStates,
+    states: FlatStates,  # shape: csr(n)
     spec: FilterSpec,
     *,
     weight_scale: float = 1.0,
@@ -701,7 +706,7 @@ def run_dense(
     *,
     sources: Iterable[int] | None = None,
     h: int | None = None,
-    x0: FlatStates | None = None,
+    x0: FlatStates | None = None,  # shape: csr(n)
     max_iterations: int | None = None,
     ledger: CostLedger = NULL_LEDGER,
 ) -> tuple[FlatStates, int]:
@@ -795,12 +800,12 @@ def _charge_sample_iteration(
 
 
 def propagate_batched(
-    states: BatchedFlatStates,
-    src: np.ndarray,
-    dst: np.ndarray,
-    w: np.ndarray,
+    states: BatchedFlatStates,  # shape: csr(k*n)
+    src: np.ndarray,  # shape: (E,) int64
+    dst: np.ndarray,  # shape: (E,) int64
+    w: np.ndarray,  # shape: (E,) float64
     *,
-    include_self: bool = True,
+    include_self: bool = True,  # shape: scalar
     ledgers: Sequence[CostLedger] | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Batched :func:`propagate`: targets are composite ``sample*n + v``.
@@ -821,15 +826,15 @@ def propagate_batched(
 
 
 def aggregate_batched(
-    k: int,
-    n: int,
-    vtgt: np.ndarray,
-    ids: np.ndarray,
-    dists: np.ndarray,
+    k: int,  # shape: scalar
+    n: int,  # shape: scalar
+    vtgt: np.ndarray,  # shape: (m,) int64
+    ids: np.ndarray,  # shape: (m,) int64
+    dists: np.ndarray,  # shape: (m,) float64
     spec: FilterSpec,
     *,
     ledgers: Sequence[CostLedger] | None = None,
-) -> BatchedFlatStates:
+) -> BatchedFlatStates:  # shape: -> csr(k*n)
     """Batched :func:`aggregate`: one global stable sort over all samples.
 
     The composite target ``sample * n + v`` is the primary sort key, so
@@ -1028,7 +1033,7 @@ def _generic_iteration_batched(
 
 def dense_iteration_batched_ex(
     G: Graph,
-    states: BatchedFlatStates,
+    states: BatchedFlatStates,  # shape: csr(k*n)
     spec: FilterSpec,
     *,
     weight_scale: float = 1.0,
@@ -1053,7 +1058,7 @@ def dense_iteration_batched_ex(
 
 def dense_iteration_batched(
     G: Graph,
-    states: BatchedFlatStates,
+    states: BatchedFlatStates,  # shape: csr(k*n)
     spec: FilterSpec,
     *,
     weight_scale: float = 1.0,
@@ -1074,8 +1079,8 @@ def dense_iteration_batched(
 
 
 def take_active_samples(
-    keep: np.ndarray,
-    states: BatchedFlatStates,
+    keep: np.ndarray,  # shape: (k,) bool
+    states: BatchedFlatStates,  # shape: csr(k*n)
     spec: FilterSpec,
     ledgers: Sequence[CostLedger] | None,
 ) -> tuple[BatchedFlatStates, FilterSpec, list[CostLedger] | None]:
@@ -1095,10 +1100,10 @@ def take_active_samples(
 
 def run_batched_fixpoint(
     step,
-    states: BatchedFlatStates,
+    states: BatchedFlatStates,  # shape: csr(k*n)
     spec: FilterSpec,
     ledgers: Sequence[CostLedger] | None,
-    cap: int,
+    cap: int,  # shape: scalar
     *,
     freeze_next: bool = False,
     error: str | None = None,
@@ -1163,7 +1168,7 @@ def run_dense_batched(
     *,
     sources: Iterable[int] | None = None,
     h: int | None = None,
-    x0: BatchedFlatStates | None = None,
+    x0: BatchedFlatStates | None = None,  # shape: csr(k*n)
     max_iterations: int | None = None,
     ledgers: Sequence[CostLedger] | None = None,
 ) -> tuple[BatchedFlatStates, np.ndarray]:

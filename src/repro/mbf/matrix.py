@@ -35,6 +35,8 @@ __all__ = [
 
 def min_plus_adjacency(G: Graph) -> np.ndarray:
     """Dense min-plus adjacency (Equation 1.4): 0 diagonal, ``inf`` non-edges."""
+    # reprolint: disable=quadratic-transient-flow (the (n, n) adjacency is
+    # the declared output, not a transient)
     A = np.full((G.n, G.n), np.inf)
     src, dst, w = G.directed_edges()
     A[src, dst] = w

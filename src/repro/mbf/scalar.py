@@ -63,16 +63,16 @@ def _edge_groups(
 
 
 def scalar_iteration(
-    X: np.ndarray,
-    semiring: str,
-    src: np.ndarray,
-    w: np.ndarray,
-    starts: np.ndarray,
-    targets: np.ndarray,
+    X: np.ndarray,  # shape: (n, c) float64
+    semiring: str,  # shape: scalar
+    src: np.ndarray,  # shape: (E,) int64
+    w: np.ndarray,  # shape: (E,) float64
+    starts: np.ndarray,  # shape: (t,) int64
+    targets: np.ndarray,  # shape: (t,) int64
     *,
-    dmax: float = INF,
+    dmax: float = INF,  # shape: scalar
     ledger: CostLedger = NULL_LEDGER,
-) -> np.ndarray:
+) -> np.ndarray:  # shape: -> (n, c) float64
     """One filtered scalar iteration ``r^V A x`` on pre-grouped edges.
 
     ``X`` is the ``(n, c)`` state matrix; ``src``/``w``/``starts``/``targets``
@@ -104,7 +104,7 @@ def scalar_iteration(
 
 def run_scalar(
     G: Graph,
-    init: np.ndarray,
+    init: np.ndarray,  # shape: (n, c) float64
     *,
     semiring: str = "min-plus",
     dmax: float = INF,

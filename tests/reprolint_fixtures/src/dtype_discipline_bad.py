@@ -1,0 +1,19 @@
+"""Seeded violations: narrowing and integer casts on distance arrays."""
+
+import numpy as np
+
+__all__ = ["alias_cast", "alloc_narrow", "narrow"]
+
+
+def narrow(dists):
+    return dists.astype(np.float32)
+
+
+def alias_cast(dists):
+    d = dists
+    return np.asarray(d, dtype=np.int32)
+
+
+def alloc_narrow(n):
+    weights = np.zeros(n, dtype=np.float16)
+    return weights

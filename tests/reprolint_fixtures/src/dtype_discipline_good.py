@@ -1,0 +1,18 @@
+"""Clean twin: distances stay float64; integer casts only on indices."""
+
+import numpy as np
+
+__all__ = ["alloc_wide", "index_cast", "widen"]
+
+
+def widen(dists):
+    return dists.astype(np.float64)
+
+
+def index_cast(ids):
+    return np.asarray(ids, dtype=np.int64)
+
+
+def alloc_wide(n):
+    weights = np.zeros(n, dtype=np.float64)
+    return weights

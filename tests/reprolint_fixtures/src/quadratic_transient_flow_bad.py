@@ -1,0 +1,20 @@
+"""Seeded violations: quadratic transients reached only through aliases."""
+
+import numpy as np
+
+__all__ = ["pairs", "pick", "scratch"]
+
+
+def scratch(n):
+    m = n
+    return np.zeros((n, m))
+
+
+def pairs(n):
+    tri = np.triu_indices
+    return tri(n, k=1)
+
+
+def pick(g, n, k):
+    draw = g.choice
+    return draw(n, size=k, replace=False)

@@ -1,0 +1,21 @@
+"""Clean twin: distinct dimensions and aliases of the bounded idioms."""
+
+import numpy as np
+
+from repro.util.pairs import all_pairs, sample_distinct
+
+__all__ = ["pairs", "pick", "scratch"]
+
+
+def scratch(n, m):
+    return np.zeros((n, m))
+
+
+def pairs(n):
+    fn = all_pairs
+    return fn(n)
+
+
+def pick(g, n, k):
+    fn = sample_distinct
+    return fn(n, k, g)

@@ -1,0 +1,20 @@
+"""Seeded violations: independent streams and hash-ordered draws."""
+
+from repro.util.rng import as_rng, split_seed
+
+__all__ = ["resplit", "respawn", "unordered"]
+
+
+def respawn(rng, seed):
+    return as_rng(seed)
+
+
+def resplit(rng, seed):
+    return split_seed(seed, 2)
+
+
+def unordered(rng, groups):
+    out = []
+    for g in set(groups):
+        out.append(rng.integers(0, 10))
+    return out

@@ -1,0 +1,20 @@
+"""Clean twin: all randomness derives from the accepted generator."""
+
+from repro.util.rng import as_rng, spawn_rngs
+
+__all__ = ["children", "normalize", "ordered"]
+
+
+def normalize(rng, seed):
+    return as_rng(rng if rng is not None else seed)
+
+
+def children(rng, k):
+    return spawn_rngs(rng, k)
+
+
+def ordered(rng, groups):
+    out = []
+    for g in sorted(set(groups)):
+        out.append(rng.integers(0, 10))
+    return out

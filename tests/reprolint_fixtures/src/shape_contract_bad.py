@@ -1,0 +1,31 @@
+"""Seeded violations: missing, malformed, and ambiguous shape contracts."""
+# reprolint: shape-contracts-required
+
+import numpy as np
+
+__all__ = ["ambiguous", "malformed", "missing", "partial"]
+
+
+def missing(values):
+    return np.cumsum(values, axis=0)
+
+
+def malformed(
+    x,  # shape: (n^2,) float64
+    y,  # shape: (n,) float64
+):
+    return x + y
+
+
+def ambiguous(
+    x, y,  # shape: (n,) float64
+    z,  # shape: (n,) float64
+):
+    return x + y + z
+
+
+def partial(
+    x,  # shape: (n,) float64
+    y: np.ndarray,
+):
+    return x + y

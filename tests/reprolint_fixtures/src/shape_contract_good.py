@@ -1,0 +1,21 @@
+"""Clean twin: every public kernel carries parseable, consistent contracts."""
+# reprolint: shape-contracts-required
+
+import numpy as np
+
+__all__ = ["axpy", "segment_sums"]
+
+
+def axpy(
+    a,  # shape: scalar
+    x,  # shape: (n,) float64
+    y: np.ndarray,  # shape: (n,) float64
+) -> np.ndarray:  # shape: -> (n,) float64
+    return a * x + y
+
+
+def segment_sums(
+    values,  # shape: (m,) float64
+    starts,  # shape: (s,) int64
+):  # shape: -> (s,) float64
+    return np.add.reduceat(values, starts)

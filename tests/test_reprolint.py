@@ -6,8 +6,10 @@ repo-level failure.  Files are analyzed once and cached; the fan-out is
 assertion-only.
 
 This mirrors CI's ``python -m tools.reprolint src tests benchmarks
-examples`` step (which additionally applies the checked-in baseline —
-kept empty, see ``test_checked_in_baseline_is_empty``).
+examples tools`` step (which additionally applies the checked-in
+baseline — kept empty, see ``test_checked_in_baseline_is_empty``).
+Analysis runs in project mode, exactly like CI: cross-module rules
+(shape-contract call sites, dtype conflicts) are part of the gate.
 """
 
 from __future__ import annotations
@@ -18,10 +20,11 @@ from pathlib import Path
 import pytest
 
 from tools.reprolint import all_rules, analyze_file
+from tools.reprolint.callgraph import Project
 from tools.reprolint.engine import META_RULES, collect_files
 
 REPO_ROOT = Path(__file__).parent.parent
-SCAN_ROOTS = ["src", "tests", "benchmarks", "examples"]
+SCAN_ROOTS = ["src", "tests", "benchmarks", "examples", "tools"]
 
 FILES = [
     f.relative_to(REPO_ROOT).as_posix()
@@ -31,8 +34,13 @@ RULE_NAMES = sorted(r.name for r in all_rules()) + list(META_RULES)
 
 
 @lru_cache(maxsize=None)
+def _project() -> Project | None:
+    return Project.discover(REPO_ROOT)
+
+
+@lru_cache(maxsize=None)
 def _findings_by_rule(rel: str) -> dict[str, list[str]]:
-    findings, _ = analyze_file(REPO_ROOT / rel, root=REPO_ROOT)
+    findings, _ = analyze_file(REPO_ROOT / rel, root=REPO_ROOT, project=_project())
     out: dict[str, list[str]] = {}
     for f in findings:
         out.setdefault(f.rule, []).append(f.render())

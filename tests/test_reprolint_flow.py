@@ -1,0 +1,559 @@
+"""Unit tests for reprolint v2's analysis layers.
+
+Covers the three infrastructure modules directly — :mod:`dataflow`
+(value keys, aliasing, branch/loop conservatism), :mod:`shapes`
+(contract grammar, extraction, symbolic shape/dtype inference) and
+:mod:`callgraph` (project discovery, import resolution, re-export
+chasing) — then exercises the project-mode call-site checks end to end
+on a synthetic ``src/repro`` package, and pins the PR's acceptance
+criterion: every public kernel in the four annotated modules carries a
+validated, non-empty contract set.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import analyze_file
+from tools.reprolint.callgraph import Project
+from tools.reprolint.dataflow import (
+    FunctionDataflow,
+    function_scopes,
+    get_dataflow,
+    scope_nodes,
+)
+from tools.reprolint.engine import LintContext
+from tools.reprolint.shapes import (
+    UNKNOWN,
+    extract_contracts,
+    infer_dtype,
+    infer_shape,
+    parse_contract,
+)
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _fn_flow(src: str) -> tuple[FunctionDataflow, ast.FunctionDef]:
+    tree = ast.parse(textwrap.dedent(src))
+    fn = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    return FunctionDataflow(fn), fn
+
+
+# -- dataflow ------------------------------------------------------------------
+
+
+def test_alias_assignment_propagates_value_key():
+    flow, fn = _fn_flow("""
+        def f(n):
+            m = n
+            return (n, m)
+    """)
+    a, b = fn.body[-1].value.elts
+    assert flow.key_of(a) == "param:n"
+    assert flow.same_value(a, b)
+
+
+def test_rebinding_invalidates_later_uses_only():
+    flow, fn = _fn_flow("""
+        def f(n):
+            m = n
+            m = n + 1
+            return (n, m)
+    """)
+    a, b = fn.body[-1].value.elts
+    assert flow.key_of(b) == "(param:n+const:1)"
+    assert not flow.same_value(a, b)
+
+
+def test_branch_merge_conflicting_bindings_go_opaque():
+    flow, fn = _fn_flow("""
+        def f(flag, n):
+            if flag:
+                m = n
+            else:
+                m = 2
+            return m
+    """)
+    assert flow.key_of(fn.body[-1].value) is None
+
+
+def test_branch_merge_agreeing_bindings_survive():
+    flow, fn = _fn_flow("""
+        def f(flag, n):
+            if flag:
+                m = n
+            else:
+                m = n
+            return m
+    """)
+    assert flow.key_of(fn.body[-1].value) == "param:n"
+
+
+def test_loop_rebound_names_are_iteration_dependent():
+    flow, fn = _fn_flow("""
+        def f(n, xs):
+            total = n
+            for x in xs:
+                total = total + 1
+            return total
+    """)
+    assert flow.key_of(fn.body[-1].value) is None
+
+
+def test_imports_bind_source_qualified_keys():
+    tree = ast.parse(
+        "import numpy as np\n"
+        "from repro.util.rng import as_rng\n"
+        "zeros = np.zeros\n"
+    )
+    flow = FunctionDataflow(tree)
+    assert flow.env["np"] == "name:numpy"
+    assert flow.env["as_rng"] == "name:repro.util.rng.as_rng"
+    assert flow.env["zeros"] == "name:numpy.zeros"
+
+
+def test_pure_calls_key_structurally_but_unknown_calls_stay_opaque():
+    flow, _ = _fn_flow("""
+        def f(xs, g):
+            a = len(xs)
+            b = len(xs)
+            c = g(xs)
+            d = g(xs)
+    """)
+    assert flow.env["a"] == "name:len(param:xs)"
+    assert flow.env["a"] == flow.env["b"]
+    assert flow.env["c"].startswith("opaque:")
+    assert flow.env["c"] != flow.env["d"]
+
+
+def test_call_target_follows_function_aliases():
+    flow, fn = _fn_flow("""
+        def f(n):
+            tri = np.triu_indices
+            return tri(n)
+    """)
+    assert flow.call_target(fn.body[-1].value) == "name:np.triu_indices"
+
+
+def test_scope_nodes_excludes_nested_function_bodies():
+    _, fn = _fn_flow("""
+        def outer(n):
+            x = n
+
+            def inner(m):
+                y = m
+
+            return x
+    """)
+    names = {
+        node.targets[0].id
+        for node in scope_nodes(fn)
+        if isinstance(node, ast.Assign)
+    }
+    assert names == {"x"}
+
+
+def test_function_scopes_yields_module_then_every_def():
+    tree = ast.parse("def a():\n    def b():\n        pass\n")
+    scopes = list(function_scopes(tree))
+    assert scopes[0] is tree
+    assert sorted(s.name for s in scopes[1:]) == ["a", "b"]
+
+
+def test_get_dataflow_caches_per_context_scope():
+    src = "def f(n):\n    return n\n"
+    tree = ast.parse(src)
+    ctx = LintContext("src/x.py", src, tree)
+    fn = tree.body[0]
+    assert get_dataflow(ctx, fn) is get_dataflow(ctx, fn)
+
+
+# -- shapes: contract grammar --------------------------------------------------
+
+
+def test_parse_contract_array_form():
+    c, err = parse_contract("(k, n) float64", 1, "comment")
+    assert err is None
+    assert (c.kind, c.dims, c.dtype, c.rank) == ("array", ("k", "n"), "float64", 2)
+
+
+def test_parse_contract_scalar_and_csr_forms():
+    c, err = parse_contract("scalar", 1, "comment")
+    assert err is None and c.kind == "scalar" and c.rank is None
+    c, err = parse_contract("csr(k*n)", 1, "comment")
+    assert err is None and c.kind == "csr" and c.dims == ("k*n",)
+
+
+def test_parse_contract_return_form():
+    c, err = parse_contract("-> (s, q) int64", 1, "comment")
+    assert err is None and c.dims == ("s", "q") and c.dtype == "int64"
+
+
+@pytest.mark.parametrize(
+    "text,fragment",
+    [
+        ("(n^2,)", "bad dimension"),
+        ("(n,) float13", "unknown dtype"),
+        ("csr(a, b)", "exactly one segment-count"),
+        ("whatever", "unparseable shape contract"),
+    ],
+)
+def test_parse_contract_rejects_malformed_text(text, fragment):
+    c, err = parse_contract(text, 1, "comment")
+    assert c is None and fragment in err
+
+
+def _contracts(src: str):
+    src = textwrap.dedent(src)
+    tree = ast.parse(src)
+    ctx = LintContext("src/x.py", src, tree)
+    fn = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    return extract_contracts(ctx, fn)
+
+
+def test_extract_contracts_from_signature_comments():
+    cs = _contracts("""
+        def f(
+            x,  # shape: (k, n) float64
+            m,  # shape: scalar
+        ):  # shape: -> (k,) float64
+            return x[:, m]
+    """)
+    assert cs.problems == []
+    assert cs.params["x"].dims == ("k", "n")
+    assert cs.params["m"].kind == "scalar"
+    assert cs.returns.dims == ("k",)
+
+
+def test_extract_contracts_merges_docstring_parameters_block():
+    cs = _contracts('''
+        def f(ranks, betas):
+            """Build.
+
+            Parameters
+            ----------
+            ranks:
+                ``(k, n)`` matrix of random total orders.
+            betas:
+                ``(k,)`` multipliers.
+            """
+            return ranks, betas
+    ''')
+    assert cs.problems == []
+    assert cs.params["ranks"].dims == ("k", "n")
+    assert cs.params["ranks"].source == "docstring"
+    assert cs.params["betas"].rank == 1
+
+
+def test_extract_contracts_reports_comment_docstring_rank_conflict():
+    cs = _contracts('''
+        def f(
+            ranks,  # shape: (n,) int64
+        ):
+            """Do.
+
+            Parameters
+            ----------
+            ranks:
+                ``(k, n)`` matrix.
+            """
+            return ranks
+    ''')
+    assert any("contract conflict for 'ranks'" in msg for _, msg in cs.problems)
+
+
+def test_extract_contracts_flags_unintroduced_return_symbol():
+    cs = _contracts("""
+        def f(
+            x,  # shape: (n,) float64
+        ):  # shape: -> (m,) float64
+            return x
+    """)
+    assert any("return shape symbol 'm'" in msg for _, msg in cs.problems)
+
+
+def test_return_only_contract_makes_no_symbol_claim():
+    cs = _contracts("""
+        def f(forest, demands):  # shape: -> (total_nodes,) float64
+            return demands
+    """)
+    assert cs.problems == []
+    assert not cs.empty
+
+
+# -- shapes: symbolic inference ------------------------------------------------
+
+
+def _shapes_of(src: str, names: set[str]) -> dict[str, tuple[str, ...] | None]:
+    flow, fn = _fn_flow(src)
+    out: dict[str, tuple[str, ...] | None] = {}
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id in names):
+            out[node.targets[0].id] = infer_shape(flow, node.value)
+    return out
+
+
+def test_infer_shape_numpy_idioms():
+    got = _shapes_of("""
+        def f(n, k, v, q):
+            a = np.zeros((k, n))
+            b = a * 2.0
+            t = a.T
+            r = np.repeat(a, n, axis=0)
+            flat = np.repeat(a, n)
+            p = np.power(a, 2)
+            u = np.unique(v)
+            cnt = np.bincount(v, minlength=n)
+            idx = np.searchsorted(v, q)
+            red = np.minimum.reduceat(a, v)
+            ar = np.arange(n)
+            st = np.stack([a, a])
+            rs = a.reshape(n, -1)
+    """, {"a", "b", "t", "r", "flat", "p", "u", "cnt", "idx", "red", "ar",
+          "st", "rs"})
+    assert got["a"] == ("param:k", "param:n")
+    assert got["b"] == ("param:k", "param:n")
+    assert got["t"] == ("param:n", "param:k")
+    assert got["r"] == (UNKNOWN, "param:n")  # repeat along axis 0
+    assert got["flat"] == (UNKNOWN,)  # no axis: flattened
+    assert got["p"] == ("param:k", "param:n")  # broadcast against a scalar
+    assert got["u"] == (UNKNOWN,)
+    assert got["cnt"] == ("param:n",)
+    assert got["idx"] is None  # shape of q is unknown here
+    assert got["red"] == (UNKNOWN, "param:n")  # segments count is unknown
+    assert got["ar"] == ("param:n",)
+    assert got["st"] == (UNKNOWN, "param:k", "param:n")
+    assert got["rs"] == ("param:n", UNKNOWN)
+
+
+def test_infer_shape_subscripting():
+    got = _shapes_of("""
+        def f(n, k):
+            a = np.zeros((k, n))
+            row = a[0]
+            col = a[:, -1]
+            new = a[:, None]
+            fancy = a[a > 0]
+    """, {"row", "col", "new", "fancy"})
+    assert got["row"] == ("param:n",)
+    assert got["col"] == ("param:k",)
+    assert got["new"] == ("param:k", "const:1", "param:n")
+    assert got["fancy"] is None  # boolean mask: rank depends on data
+
+
+def test_infer_shape_env_supplies_contracted_parameter_dims():
+    flow, fn = _fn_flow("""
+        def f(x, w):
+            y = x + w
+            return y
+    """)
+    env = {"x": ("k", "n"), "w": ("n",)}
+    value = fn.body[0].value
+    assert infer_shape(flow, value, env=env) == ("k", "n")
+    assert infer_shape(flow, value) is None  # no env: no claim
+
+
+def test_infer_dtype_resolves_through_aliases_and_casts():
+    flow, fn = _fn_flow("""
+        def f(n, x):
+            a = np.zeros(n)
+            b = np.zeros(n, dtype=np.int32)
+            c = a
+            d = x.astype("float32")
+            e = np.asarray(b)
+    """)
+    by_name = {
+        node.targets[0].id: node.value
+        for node in fn.body
+        if isinstance(node, ast.Assign)
+    }
+    assert infer_dtype(flow, by_name["a"]) == "float64"
+    assert infer_dtype(flow, by_name["b"]) == "int32"
+    assert infer_dtype(flow, by_name["d"]) == "float32"
+    assert infer_dtype(flow, by_name["e"]) == "int32"
+
+
+# -- callgraph: synthetic project ----------------------------------------------
+
+_KERN = '''\
+"""Synthetic kernels with declared contracts."""
+
+import numpy as np
+
+__all__ = ["combine", "scale"]
+
+
+def combine(
+    x,  # shape: (n, c) float64
+    w,  # shape: (3,) float64
+):
+    return x * w
+
+
+def scale(
+    d,  # shape: (m,) float64
+):
+    return d * 2.0
+'''
+
+_PKG_INIT = '''\
+"""Synthetic package namespace (re-exports)."""
+
+from repro.kern import combine, scale
+
+__all__ = ["combine", "scale"]
+'''
+
+_CALLER = '''\
+"""Call sites with one seeded rank and one seeded dtype violation."""
+
+import numpy as np
+
+from repro import combine
+from repro.kern import scale
+
+__all__ = ["bad_dtype", "bad_rank", "ok"]
+
+
+def bad_rank(n):
+    x = np.zeros((n, 3, 2))
+    w = np.zeros(3)
+    return combine(x, w)
+
+
+def bad_dtype(m):
+    d = np.zeros(m, dtype=np.int64)
+    return scale(d)
+
+
+def ok(n):
+    x = np.zeros((n, 4))
+    w = np.zeros(3)
+    return combine(x, w)
+'''
+
+_REL = '''\
+"""Relative-import resolution probe."""
+
+from .kern import combine
+
+__all__ = ["via_relative"]
+
+
+def via_relative(x, w):
+    return combine(x, w)
+'''
+
+
+@pytest.fixture()
+def synth_project(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text(_PKG_INIT)
+    (pkg / "kern.py").write_text(_KERN)
+    (pkg / "caller.py").write_text(_CALLER)
+    (pkg / "rel.py").write_text(_REL)
+    project = Project.discover(tmp_path)
+    assert project is not None
+    return tmp_path, project
+
+
+def test_discover_requires_src_repro(tmp_path):
+    assert Project.discover(tmp_path) is None
+
+
+def test_resolve_follows_imports_and_reexports(synth_project):
+    _, project = synth_project
+    # Direct import.
+    assert project.resolve("repro.caller", "scale") == "repro.kern.scale"
+    # Through the package __init__ re-export.
+    assert project.resolve("repro.caller", "combine") == "repro.kern.combine"
+    # Relative import.
+    assert project.resolve("repro.rel", "combine") == "repro.kern.combine"
+    # Third-party imports resolve to their qualified (non-project) name...
+    assert project.resolve("repro.caller", "np.zeros") == "numpy.zeros"
+    assert project.lookup_function("numpy.zeros") is None
+    # ...and names with no import (locals, builtins) make no claim.
+    assert project.resolve("repro.caller", "undefined_name") is None
+
+
+def test_lookup_function_and_call_sites(synth_project):
+    _, project = synth_project
+    info, fn = project.lookup_function("repro.kern.combine")
+    assert info.name == "repro.kern" and fn.name == "combine"
+    callers = {c.caller_module for c in project.calls_of("repro.kern.combine")}
+    assert callers == {"repro.caller", "repro.rel"}
+
+
+def test_module_for_path_maps_relpaths(synth_project):
+    _, project = synth_project
+    info = project.module_for_path("src/repro/kern.py")
+    assert info is not None and info.name == "repro.kern"
+    assert project.module_for_path("src/repro/nope.py") is None
+
+
+# -- project-mode call-site checks ---------------------------------------------
+
+
+def test_call_site_rank_and_dtype_conflicts_are_findings(synth_project):
+    root, project = synth_project
+    findings, _ = analyze_file(
+        root / "src" / "repro" / "caller.py", root=root, project=project
+    )
+    by_rule = {}
+    for f in findings:
+        by_rule.setdefault(f.rule, []).append(f)
+    shape = by_rule.pop("shape-contract")
+    assert len(shape) == 1
+    assert "rank 3" in shape[0].message and "(n, c)" in shape[0].message
+    dtype = by_rule.pop("dtype-discipline")
+    assert len(dtype) == 1
+    assert "int64" in dtype[0].message and "float64" in dtype[0].message
+    assert by_rule == {}  # nothing else fires — 'ok' is provably consistent
+
+
+def test_without_project_the_call_site_checks_stay_silent(synth_project):
+    root, _ = synth_project
+    findings, _ = analyze_file(
+        root / "src" / "repro" / "caller.py", root=root, project=None
+    )
+    assert findings == []
+
+
+# -- acceptance: contract coverage of the real kernel modules ------------------
+
+KERNEL_MODULES = [
+    "src/repro/mbf/dense.py",
+    "src/repro/mbf/scalar.py",
+    "src/repro/frt/forest.py",
+    "src/repro/apps/batched.py",
+]
+
+
+@pytest.mark.parametrize("rel", KERNEL_MODULES)
+def test_every_public_kernel_declares_a_validated_contract(rel):
+    path = REPO_ROOT / rel
+    source = path.read_text(encoding="utf-8-sig")
+    tree = ast.parse(source)
+    ctx = LintContext(rel, source, tree)
+    public = [
+        node for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and not node.name.startswith("_")
+    ]
+    assert public, f"{rel} exports no public kernels?"
+    missing, problems = [], []
+    for fn in public:
+        cs = extract_contracts(ctx, fn)
+        if cs.empty:
+            missing.append(fn.name)
+        problems.extend(cs.problems)
+    assert missing == [], f"{rel}: kernels without contracts: {missing}"
+    assert problems == [], f"{rel}: contract problems: {problems}"

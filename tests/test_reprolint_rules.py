@@ -35,6 +35,11 @@ EXPECTED_BAD_LINES = {
     "public-api-all": [3, 6],
     "mutable-default-arg": [6],
     "bare-except": [9],
+    # PR 7 flow-aware rules (dataflow / shapes / project infrastructure).
+    "quadratic-transient-flow": [10, 15, 20],
+    "shape-contract": [9, 14, 21, 29],
+    "dtype-discipline": [9, 14, 18],
+    "rng-stream-flow": [9, 13, 19],
 }
 
 RULE_NAMES = sorted(EXPECTED_BAD_LINES)
@@ -66,6 +71,21 @@ def test_rule_fires_on_bad_fixture(rule):
 def test_clean_twin_is_fully_clean(rule):
     fname = rule.replace("-", "_") + "_good.py"
     assert _analyze(fname) == []
+
+
+def test_flow_rule_catches_aliases_the_syntactic_rule_misses():
+    """Acceptance: every seeded alias in the flow fixture evades PR 6's rule.
+
+    ``quadratic_transient_flow_bad.py`` reaches the quadratic idioms only
+    through value aliases (``m = n``, ``tri = np.triu_indices``,
+    ``draw = g.choice``), so the purely syntactic ``quadratic-transient``
+    rule must stay silent while the dataflow-backed rule flags all three.
+    """
+    findings = _analyze("quadratic_transient_flow_bad.py")
+    assert [f.line for f in findings if f.rule == "quadratic-transient"] == []
+    assert [f.line for f in findings if f.rule == "quadratic-transient-flow"] == (
+        EXPECTED_BAD_LINES["quadratic-transient-flow"]
+    )
 
 
 # -- suppression mechanics -----------------------------------------------------
@@ -161,6 +181,78 @@ def test_checked_in_baseline_is_empty():
     assert load_baseline(repo_baseline) == {}
 
 
+def test_suppression_above_decorator_covers_the_def(tmp_path):
+    """A standalone disable above a decorated def governs the def itself."""
+    src_dir = tmp_path / "src"
+    src_dir.mkdir()
+    mod = src_dir / "m.py"
+    mod.write_text(
+        '"""Doc."""\n\nimport functools\n\n__all__ = ["f"]\n\n\n'
+        "# reprolint: disable=mutable-default-arg (fixture: cache key frozen)\n"
+        "@functools.lru_cache(maxsize=None)\n"
+        "def f(xs=[]):\n"
+        "    return xs\n"
+    )
+    findings, _ = analyze_file(mod, root=tmp_path)
+    assert findings == []
+
+
+def test_suppression_on_continuation_line_covers_statement(tmp_path):
+    """A trailing disable on a closing-paren line governs the whole call."""
+    src_dir = tmp_path / "src"
+    src_dir.mkdir()
+    mod = src_dir / "m.py"
+    mod.write_text(
+        '"""Doc."""\n\nimport numpy as np\n\n__all__ = ["g"]\n\n\n'
+        "def g(n):\n"
+        "    return np.zeros(\n"
+        "        (n, n)\n"
+        "    )  # reprolint: disable=quadratic-transient (fixture: output-sized)\n"
+    )
+    findings, _ = analyze_file(mod, root=tmp_path)
+    assert findings == []
+
+
+def test_baseline_budget_counts_duplicate_line_texts(tmp_path):
+    """Identical stripped line texts consume one budget entry per hit."""
+    src_dir = tmp_path / "src"
+    src_dir.mkdir()
+    mod = src_dir / "m.py"
+    def header(names: list[str]) -> str:
+        return f'"""Doc."""\n\nimport numpy as np\n\n__all__ = {names!r}\n'
+
+    def viol(name: str) -> str:
+        return f"\n\ndef {name}(n):\n    return np.triu_indices(n)\n"
+
+    mod.write_text(header(["a", "b"]) + viol("a") + viol("b"))
+    findings, ctx = analyze_file(mod, root=tmp_path)
+    assert [f.rule for f in findings] == ["quadratic-transient"] * 2
+    bl = tmp_path / "baseline.json"
+    write_baseline(findings, {ctx.path: ctx}, bl)
+    budget = load_baseline(bl)
+    assert list(budget.values()) == [2]  # one key, count two
+    assert apply_baseline(findings, ctx, budget) == []
+    # A third identical line exceeds the grandfathered budget and survives.
+    mod.write_text(header(["a", "b", "c"]) + viol("a") + viol("b") + viol("c"))
+    findings3, ctx3 = analyze_file(mod, root=tmp_path)
+    assert len(apply_baseline(findings3, ctx3, load_baseline(bl))) == 1
+
+
+def test_bom_and_crlf_sources_are_handled(tmp_path):
+    """UTF-8-BOM + CRLF files parse and report correct line numbers."""
+    src_dir = tmp_path / "src"
+    src_dir.mkdir()
+    mod = src_dir / "m.py"
+    text = (
+        '"""Doc."""\r\n\r\nimport numpy as np\r\n\r\n__all__ = ["f"]\r\n'
+        "\r\n\r\ndef f(n):\r\n    return np.zeros((n, n))\r\n"
+    )
+    mod.write_bytes(b"\xef\xbb\xbf" + text.encode("utf-8"))
+    findings, ctx = analyze_file(mod, root=tmp_path)
+    assert ctx is not None
+    assert [(f.rule, f.line) for f in findings] == [("quadratic-transient", 9)]
+
+
 def test_analyze_paths_applies_baseline(tmp_path):
     findings, ctxs = analyze_paths([FIXTURE_ROOT / "src"], root=FIXTURE_ROOT)
     assert findings  # the fixture tree is intentionally dirty
@@ -199,3 +291,35 @@ def test_cli_write_baseline(tmp_path, monkeypatch):
     assert main([dirty, "--write-baseline", "--baseline", str(bl)]) == 0
     assert main([dirty, "--baseline", str(bl), "-q"]) == 0
     assert main([dirty, "--baseline", str(bl), "--no-baseline", "-q"]) == 1
+
+
+def test_cli_github_format_emits_error_annotations(capsys, monkeypatch):
+    from tools.reprolint.__main__ import main
+
+    monkeypatch.chdir(FIXTURE_ROOT)
+    assert main(["src/rng_source_bad.py", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=src/rng_source_bad.py,line=9,col=" in out
+    assert "title=reprolint(rng-source)::" in out
+
+
+def test_render_github_escapes_message_payload():
+    from tools.reprolint.__main__ import render_github
+    from tools.reprolint.engine import Finding
+
+    f = Finding("src/x.py", 3, 2, "rng-source", "50% worse\nsecond line")
+    line = render_github(f)
+    assert line.startswith(
+        "::error file=src/x.py,line=3,col=2,title=reprolint(rng-source)::"
+    )
+    assert "%25" in line and "%0A" in line and "\n" not in line
+
+
+def test_list_rules_has_no_blank_invariant_bullets():
+    from tools.reprolint.__main__ import _list_rules
+
+    text = _list_rules()
+    for line in text.splitlines():
+        assert line.strip() not in ("|", "| ."), f"stray bullet: {line!r}"
+    for rule in RULE_NAMES:
+        assert f"  {rule}: " in text

@@ -1,1 +1,3 @@
 """Repo-internal developer tooling (not part of the ``repro`` library)."""
+
+__all__ = []

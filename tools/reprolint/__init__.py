@@ -8,9 +8,18 @@ before any dependency is installed.
 
 Usage::
 
-    python -m tools.reprolint src tests benchmarks examples
+    python -m tools.reprolint src tests benchmarks examples tools
     python -m tools.reprolint --list-rules
     python -m tools.reprolint src --write-baseline
+    python -m tools.reprolint src --format github   # PR-diff annotations
+
+Project mode engages automatically when the working directory holds a
+``src/repro`` package: :mod:`tools.reprolint.callgraph` parses the whole
+project once, and flow-aware rules (``shape-contract``,
+``rng-stream-flow``) check cross-module call boundaries through it
+(``--no-project`` opts out).  Shape contracts themselves are declared in
+the kernel signatures — see :mod:`tools.reprolint.shapes` for the
+``# shape: (k, n) float64`` convention.
 
 Suppress a single finding inline, with a written reason (a reason-less
 disable is itself an error)::
@@ -30,6 +39,7 @@ empty — every violation is either fixed or carries an inline reason.
 See the "Static analysis" section of API.md for the rule catalogue.
 """
 
+from tools.reprolint.callgraph import Project
 from tools.reprolint.engine import (
     Finding,
     LintContext,
@@ -49,6 +59,7 @@ from tools.reprolint import rules as _rules  # noqa: F401
 __all__ = [
     "Finding",
     "LintContext",
+    "Project",
     "Rule",
     "all_rules",
     "analyze_file",

@@ -2,6 +2,13 @@
 
 Standard library only — runnable in CI before any dependency install.
 Exit status is 1 iff findings remain after suppressions and the baseline.
+
+Project mode is automatic: when the working directory contains a
+``src/repro`` package, the analyzer parses it once and cross-file rules
+(shape contracts at call boundaries, RNG stream flow) see the whole
+project; ``--no-project`` forces per-file analysis.  ``--format github``
+renders findings as GitHub Actions error annotations so violations show
+inline on the PR diff.
 """
 
 from __future__ import annotations
@@ -11,13 +18,17 @@ import sys
 from collections import Counter
 from pathlib import Path
 
+from tools.reprolint.callgraph import Project
 from tools.reprolint.engine import (
     BASELINE_PATH,
+    Finding,
     all_rules,
     analyze_paths,
     load_baseline,
     write_baseline,
 )
+
+__all__ = ["main", "render_github"]
 
 
 def _list_rules() -> str:
@@ -28,7 +39,9 @@ def _list_rules() -> str:
         for path, reason in sorted(rule.exempt.items()):
             lines.append(f"      exempt: {path} ({reason})")
         for chunk in rule.invariant.split(". "):
-            lines.append(f"      | {chunk.strip().rstrip('.')}." if chunk else "")
+            chunk = chunk.strip().rstrip(".")
+            if chunk:
+                lines.append(f"      | {chunk}.")
     return "\n".join(lines)
 
 
@@ -40,6 +53,14 @@ def _summary_markdown(counts: Counter, total: int) -> str:
         lines += [f"**{total} finding(s)**", "", "| rule | count |", "| --- | ---: |"]
         lines += [f"| `{rule}` | {n} |" for rule, n in counts.most_common()]
     return "\n".join(lines) + "\n"
+
+
+def render_github(f: Finding) -> str:
+    """One finding as a GitHub Actions ``::error`` workflow command."""
+    msg = (f.message.replace("%", "%25").replace("\r", "%0D")
+           .replace("\n", "%0A"))
+    return (f"::error file={f.path},line={f.line},col={f.col},"
+            f"title=reprolint({f.rule})::{msg}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,6 +77,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="report grandfathered findings too")
     parser.add_argument("--write-baseline", action="store_true",
                         help="regenerate the baseline from current findings")
+    parser.add_argument("--no-project", action="store_true",
+                        help="disable project mode (cross-file analysis of "
+                             "src/repro)")
+    parser.add_argument("--format", choices=("text", "github"), default="text",
+                        help="finding output format: plain text or GitHub "
+                             "Actions error annotations")
     parser.add_argument("--summary", default=None, metavar="FILE",
                         help="append a markdown summary (use "
                              "$GITHUB_STEP_SUMMARY in CI)")
@@ -67,11 +94,12 @@ def main(argv: list[str] | None = None) -> int:
         print(_list_rules())
         return 0
     if not args.paths:
-        parser.error("no paths given (try: src tests benchmarks examples)")
+        parser.error("no paths given (try: src tests benchmarks examples tools)")
 
     baseline = {} if (args.no_baseline or args.write_baseline) \
         else load_baseline(args.baseline)
-    findings, ctxs = analyze_paths(args.paths, baseline=baseline)
+    project = None if args.no_project else Project.discover(Path.cwd())
+    findings, ctxs = analyze_paths(args.paths, baseline=baseline, project=project)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
     if args.write_baseline:
@@ -83,14 +111,16 @@ def main(argv: list[str] | None = None) -> int:
     counts = Counter(f.rule for f in findings)
     if not args.quiet:
         for f in findings:
-            print(f.render())
+            print(render_github(f) if args.format == "github" else f.render())
     if findings:
         per_rule = ", ".join(f"{r}={n}" for r, n in counts.most_common())
         print(f"reprolint: {len(findings)} finding(s) ({per_rule})",
               file=sys.stderr)
     else:
         n_files = len(ctxs)
-        print(f"reprolint: clean ({n_files} files)", file=sys.stderr)
+        mode = "project" if project is not None else "per-file"
+        print(f"reprolint: clean ({n_files} files, {mode} mode)",
+              file=sys.stderr)
 
     if args.summary:
         with open(args.summary, "a") as fh:

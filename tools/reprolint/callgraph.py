@@ -1,0 +1,255 @@
+"""Project-wide import resolution and call graph over ``src/repro``.
+
+Project mode parses every module under ``src/repro`` exactly once and
+gives rules three cross-file capabilities the per-file engine cannot:
+
+- **name resolution**: a dotted name used in one module is resolved
+  through that module's import table (including ``as`` renames and
+  relative imports) and through re-export chains to the qualified name
+  of the thing it denotes — e.g. ``rng.spawn_rngs`` inside
+  ``repro.mbf.engine`` resolves to ``repro.util.rng.spawn_rngs``;
+- **function lookup**: qualified name → ``(ModuleInfo, FunctionDef)``
+  for every module-level function (methods are indexed under
+  ``module.Class.method``);
+- **call sites**: qualified callee name → every ``ast.Call`` of it
+  across the project, so contract rules can check caller↔callee
+  consistency.
+
+Everything is lazy and cached on the :class:`Project` instance; rules
+receive it via ``LintContext.project`` (``None`` outside project mode,
+so every rule must degrade gracefully to per-file behaviour).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["CallSite", "ModuleInfo", "Project"]
+
+#: How deep a re-export chain (``from .a import f`` → ``from .b import f``)
+#: may be followed before resolution gives up.
+_MAX_REEXPORT_DEPTH = 8
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed project module plus its import table."""
+
+    name: str  # dotted module name, e.g. "repro.mbf.dense"
+    path: Path
+    relpath: str  # repo-relative posix path
+    tree: ast.Module
+    #: raw source lines (1-indexed via ``lines[i - 1]``, like LintContext).
+    lines: list[str] = field(default_factory=list)
+    #: local name -> fully qualified target ("repro.util.rng" for modules,
+    #: "repro.util.rng.as_rng" for imported objects).
+    imports: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call of a project function."""
+
+    caller_module: str
+    caller_relpath: str
+    node: ast.Call
+
+
+class Project:
+    """Parsed view of ``src/repro``: modules, functions, calls.
+
+    Construct through :meth:`discover`, which returns ``None`` when the
+    analysis root has no ``src/repro`` tree (fixture corpora, tmp dirs).
+    """
+
+    def __init__(self, root: Path, package_dir: Path):
+        self.root = root
+        self.package_dir = package_dir
+        self.modules: dict[str, ModuleInfo] = {}
+        self._by_relpath: dict[str, ModuleInfo] = {}
+        self._functions: dict[str, tuple[ModuleInfo, ast.AST]] | None = None
+        self._call_sites: dict[str, list[CallSite]] | None = None
+        self._scan()
+
+    @classmethod
+    def discover(cls, root: str | Path) -> "Project | None":
+        root = Path(root)
+        package_dir = root / "src" / "repro"
+        if not package_dir.is_dir():
+            return None
+        return cls(root, package_dir)
+
+    # -- construction --------------------------------------------------------
+
+    def _scan(self) -> None:
+        for path in sorted(self.package_dir.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            rel_to_pkg = path.relative_to(self.package_dir)
+            parts = ("repro", *rel_to_pkg.with_suffix("").parts)
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            name = ".".join(parts)
+            try:
+                source = path.read_text(encoding="utf-8-sig")
+                tree = ast.parse(source, filename=str(path))
+            except (SyntaxError, OSError, UnicodeDecodeError):
+                continue  # the per-file walker reports parse errors
+            info = ModuleInfo(
+                name=name,
+                path=path,
+                relpath=path.relative_to(self.root).as_posix(),
+                tree=tree,
+                lines=source.splitlines(),
+            )
+            info.imports = self._import_table(info)
+            self.modules[name] = info
+            self._by_relpath[info.relpath] = info
+
+    def _import_table(self, info: ModuleInfo) -> dict[str, str]:
+        table: dict[str, str] = {}
+        is_pkg = info.path.name == "__init__.py"
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    table[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from_base(info.name, is_pkg, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table[local] = f"{base}.{alias.name}" if base else alias.name
+        return table
+
+    @staticmethod
+    def _resolve_from_base(
+        module_name: str, is_pkg: bool, node: ast.ImportFrom
+    ) -> str | None:
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: level 1 from a package is the package itself;
+        # from a module it's the containing package.
+        parts = module_name.split(".")
+        drop = node.level - 1 if is_pkg else node.level
+        if drop > len(parts) - 1:
+            return None  # escapes the repro package
+        base_parts = parts[: len(parts) - drop]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+    # -- resolution ----------------------------------------------------------
+
+    def module_for_path(self, relpath: str) -> ModuleInfo | None:
+        """The project module at a repo-relative posix path, if any."""
+        return self._by_relpath.get(relpath)
+
+    def resolve(self, module: str | ModuleInfo, dotted: str) -> str | None:
+        """Resolve ``dotted`` as used inside ``module`` to a qualified name.
+
+        Follows the module's import table and re-export chains.  Returns
+        ``None`` when the head name is not imported (locals, builtins,
+        third-party names the table can't see).
+        """
+        info = self.modules.get(module) if isinstance(module, str) else module
+        if info is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = info.imports.get(head)
+        if target is None:
+            # A name defined in this module itself (top-level def/class).
+            if self._defined_at_top_level(info, head):
+                target = f"{info.name}.{head}"
+            else:
+                return None
+        qual = f"{target}.{rest}" if rest else target
+        return self._chase(qual)
+
+    def _defined_at_top_level(self, info: ModuleInfo, name: str) -> bool:
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) and node.name == name:
+                return True
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name) and t.id == name:
+                        return True
+        return False
+
+    def _chase(self, qual: str) -> str:
+        """Follow re-exports: ``repro.frt.build_frt_forest`` →
+        ``repro.frt.forest.build_frt_forest``."""
+        for _ in range(_MAX_REEXPORT_DEPTH):
+            mod_name, _, attr = qual.rpartition(".")
+            info = self.modules.get(mod_name)
+            if info is None or not attr:
+                return qual
+            nxt = info.imports.get(attr)
+            if nxt is None or nxt == qual:
+                return qual
+            qual = nxt
+        return qual
+
+    # -- indexes -------------------------------------------------------------
+
+    def functions(self) -> dict[str, tuple[ModuleInfo, ast.AST]]:
+        """``qualified name -> (module, FunctionDef)`` for the project."""
+        if self._functions is None:
+            index: dict[str, tuple[ModuleInfo, ast.AST]] = {}
+            for info in self.modules.values():
+                for node in info.tree.body:
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        index[f"{info.name}.{node.name}"] = (info, node)
+                    elif isinstance(node, ast.ClassDef):
+                        for sub in node.body:
+                            if isinstance(sub, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef)):
+                                key = f"{info.name}.{node.name}.{sub.name}"
+                                index[key] = (info, sub)
+            self._functions = index
+        return self._functions
+
+    def lookup_function(self, qual: str) -> tuple[ModuleInfo, ast.AST] | None:
+        return self.functions().get(qual)
+
+    def call_sites(self) -> dict[str, list[CallSite]]:
+        """``qualified callee -> call sites``, resolved per calling module."""
+        if self._call_sites is None:
+            index: dict[str, list[CallSite]] = {}
+            for info in self.modules.values():
+                for node in ast.walk(info.tree):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    dotted = _dotted(node.func)
+                    if dotted is None:
+                        continue
+                    qual = self.resolve(info, dotted)
+                    if qual is None:
+                        continue
+                    index.setdefault(qual, []).append(
+                        CallSite(info.name, info.relpath, node)
+                    )
+            self._call_sites = index
+        return self._call_sites
+
+    def calls_of(self, qual: str) -> list[CallSite]:
+        return self.call_sites().get(qual, [])
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,373 @@
+"""Function-scoped dataflow: symbol tables, def-use chains, alias tracking.
+
+PR 6's rules were purely syntactic — ``np.zeros((n, n))`` was a finding,
+``m = n; np.zeros((n, m))`` was invisible.  This module gives rules a
+*value* view of one function (or the module top level): every expression
+is resolved, in execution order, to a canonical **value key** so that two
+expressions with equal keys are guaranteed to denote the same value
+(aliases of the same name, or structurally identical pure derivations
+such as two ``x.shape[0]`` reads between which ``x`` was not rebound).
+
+The analysis is deliberately conservative:
+
+- only *pure* expressions get keys (names, attribute/subscript chains,
+  constants, a small whitelist of pure calls such as ``len``/``int``,
+  and operator combinations thereof); anything else — including any
+  unknown call — is opaque, i.e. never equal to anything;
+- branches of an ``if`` are merged: a name bound to different keys on
+  different paths becomes opaque afterwards;
+- names rebound anywhere inside a loop body are opaque throughout the
+  loop (their value is iteration-dependent);
+- rebinding a name invalidates it for *later* uses only — def-use chains
+  are positional, not flow-insensitive name matching.
+
+Standard library only (``ast``); no imports from the rule catalogue, so
+rules may depend on this module freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["FunctionDataflow", "function_scopes", "get_dataflow", "scope_nodes"]
+
+#: Calls considered pure (and shape/value-transparent) for keying.
+_PURE_CALLS = {"len", "int", "abs", "min", "max", "float", "bool"}
+
+_BINOP_SYMBOL = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+    ast.LShift: "<<",
+    ast.RShift: ">>",
+    ast.BitOr: "|",
+    ast.BitAnd: "&",
+    ast.BitXor: "^",
+}
+
+
+class FunctionDataflow:
+    """One ordered pass over a function (or module) body.
+
+    After construction:
+
+    - :meth:`key_of` maps any expression node visited during the pass to
+      its value key (``None`` when opaque);
+    - :attr:`defs` holds the def chain per name — ``(assign node, key)``
+      pairs in source order;
+    - :attr:`uses` holds every ``Name`` load per name, in source order.
+
+    Nested ``def``/``class`` bodies are *not* descended into (each gets
+    its own :class:`FunctionDataflow` via :func:`function_scopes`).
+    """
+
+    def __init__(self, scope: ast.AST):
+        self.scope = scope
+        self.env: dict[str, str] = {}
+        self.defs: dict[str, list[tuple[ast.AST, str | None]]] = {}
+        self.uses: dict[str, list[ast.Name]] = {}
+        self.returns: list[ast.expr] = []
+        self._keys: dict[int, str | None] = {}
+        self._opaque = 0
+        args = getattr(scope, "args", None)
+        if args is not None:
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                self.env[arg.arg] = f"param:{arg.arg}"
+            for var in (args.vararg, args.kwarg):
+                if var is not None:
+                    self.env[var.arg] = self._fresh()
+        for stmt in getattr(scope, "body", []):
+            self._exec(stmt)
+
+    # -- public queries ------------------------------------------------------
+
+    def key_of(self, node: ast.expr) -> str | None:
+        """The value key recorded for ``node`` (None: opaque / not seen)."""
+        return self._keys.get(id(node))
+
+    def same_value(self, a: ast.expr, b: ast.expr) -> bool:
+        """Whether ``a`` and ``b`` provably denote the same value."""
+        ka, kb = self.key_of(a), self.key_of(b)
+        return ka is not None and ka == kb
+
+    def call_target(self, call: ast.Call) -> str | None:
+        """The resolved value key of ``call.func`` (aliases followed)."""
+        return self.key_of(call.func)
+
+    def last_def_before(self, name: str, node: ast.AST) -> ast.AST | None:
+        """The latest recorded def of ``name`` at or above ``node``'s line."""
+        line = getattr(node, "lineno", None)
+        best: ast.AST | None = None
+        for assign, _ in self.defs.get(name, []):
+            if line is None or getattr(assign, "lineno", 0) <= line:
+                best = assign
+        return best
+
+    # -- the ordered walk ----------------------------------------------------
+
+    def _fresh(self) -> str:
+        self._opaque += 1
+        return f"opaque:{self._opaque}"
+
+    def _bind(self, name: str, key: str | None, node: ast.AST) -> None:
+        self.env[name] = key if key is not None else self._fresh()
+        self.defs.setdefault(name, []).append((node, key))
+
+    def _bind_target(self, target: ast.expr, key: str | None, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, key, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._bind_target(inner, None, node)
+        # Attribute / Subscript stores don't rebind local names.
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._eval(stmt.value)
+            key = self.key_of(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, key, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._eval(stmt.value)
+            key = self.key_of(stmt.value) if stmt.value is not None else None
+            self._bind_target(stmt.target, key, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value)
+            self._bind_target(stmt.target, None, stmt)
+        elif isinstance(stmt, (ast.Expr, ast.Assert, ast.Raise, ast.Delete)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self._eval(sub)
+            if isinstance(stmt, ast.Delete):
+                for t in stmt.targets:
+                    if isinstance(t, ast.Name):
+                        self.env[t.id] = self._fresh()
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value)
+                self.returns.append(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval(stmt.iter)
+            self._exec_loop(stmt.body, targets=[stmt.target])
+            for s in stmt.orelse:
+                self._exec(s)
+        elif isinstance(stmt, ast.While):
+            self._exec_loop(stmt.body, targets=[], test=stmt.test)
+            for s in stmt.orelse:
+                self._exec(s)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, None, stmt)
+            for s in stmt.body:
+                self._exec(s)
+        elif isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            branches = [stmt.body]
+            for handler in stmt.handlers:
+                if handler.name:
+                    self.env[handler.name] = self._fresh()
+                branches.append(handler.body)
+            self._exec_branches(branches)
+            for s in stmt.orelse + stmt.finalbody:
+                self._exec(s)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested scopes are separate; decorators/defaults run here.
+            for dec in stmt.decorator_list:
+                self._eval(dec)
+            self._bind(stmt.name, None, stmt)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    local = (alias.asname or alias.name).split(".")[0]
+                    # Imports bind a stable module/object — key by source.
+                    target = alias.name if isinstance(stmt, ast.Import) else (
+                        f"{stmt.module or ''}.{alias.name}".lstrip(".")
+                    )
+                    self._bind(local, f"name:{target}", stmt)
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            for name in stmt.names:
+                self.env[name] = self._fresh()
+        else:
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self._eval(sub)
+
+    def _exec_branches(self, branches: list[list[ast.stmt]]) -> None:
+        """Execute alternative branches; merge envs (conflicts go opaque)."""
+        base = dict(self.env)
+        results: list[dict[str, str]] = []
+        for body in branches:
+            self.env = dict(base)
+            for s in body:
+                self._exec(s)
+            results.append(self.env)
+        merged = dict(base)
+        names = set().union(*(set(r) for r in results)) if results else set()
+        for name in names:
+            keys = {r.get(name, base.get(name)) for r in results}
+            if len(keys) == 1:
+                (only,) = keys
+                if only is not None:
+                    merged[name] = only
+                    continue
+            merged[name] = self._fresh()
+        self.env = merged
+
+    def _exec_loop(
+        self,
+        body: list[ast.stmt],
+        *,
+        targets: list[ast.expr],
+        test: ast.expr | None = None,
+    ) -> None:
+        """Loop bodies: names assigned inside are iteration-dependent."""
+        for target in targets:
+            self._bind_target(target, None, target)
+        for name in _assigned_names(body):
+            self.env[name] = self._fresh()
+        if test is not None:
+            self._eval(test)
+        for s in body:
+            self._exec(s)
+        # Post-loop: anything the body rebound stays opaque (already is).
+
+    # -- expression keying ---------------------------------------------------
+
+    def _eval(self, expr: ast.expr) -> None:
+        """Record keys for ``expr`` and every sub-expression, in order."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                self.uses.setdefault(node.id, []).append(node)
+        self._keys[id(expr)] = self._key(expr)
+        for sub in ast.iter_child_nodes(expr):
+            if isinstance(sub, ast.expr) and id(sub) not in self._keys:
+                self._eval(sub)
+            elif isinstance(sub, ast.keyword) and id(sub.value) not in self._keys:
+                self._eval(sub.value)
+
+    def _key(self, e: ast.expr) -> str | None:
+        if isinstance(e, ast.Name):
+            key = self.env.get(e.id, f"name:{e.id}")
+            return None if key.startswith("opaque:") else key
+        if isinstance(e, ast.Constant):
+            if e.value is None or isinstance(e.value, (bool, int, float, str)):
+                return f"const:{e.value!r}"
+            return None
+        if isinstance(e, ast.Attribute):
+            base = self._key(e.value)
+            return None if base is None else f"{base}.{e.attr}"
+        if isinstance(e, ast.Subscript):
+            base = self._key(e.value)
+            idx = self._key(e.slice) if isinstance(e.slice, ast.expr) else None
+            return None if base is None or idx is None else f"{base}[{idx}]"
+        if isinstance(e, ast.Call):
+            fkey = self._key(e.func)
+            if (
+                fkey is not None
+                and fkey.removeprefix("name:") in _PURE_CALLS
+                and not e.keywords
+            ):
+                arg_keys = [self._key(a) for a in e.args]
+                if all(k is not None for k in arg_keys):
+                    return f"{fkey}({','.join(arg_keys)})"  # type: ignore[arg-type]
+            return None
+        if isinstance(e, ast.BinOp):
+            sym = _BINOP_SYMBOL.get(type(e.op))
+            left, right = self._key(e.left), self._key(e.right)
+            if sym is None or left is None or right is None:
+                return None
+            return f"({left}{sym}{right})"
+        if isinstance(e, ast.UnaryOp) and isinstance(e.op, (ast.USub, ast.UAdd)):
+            operand = self._key(e.operand)
+            sym = "-" if isinstance(e.op, ast.USub) else "+"
+            return None if operand is None else f"({sym}{operand})"
+        if isinstance(e, ast.Tuple):
+            elts = [self._key(x) for x in e.elts]
+            if all(k is not None for k in elts):
+                return f"tuple({','.join(elts)})"  # type: ignore[arg-type]
+            return None
+        return None
+
+
+def _assigned_names(body: list[ast.stmt]) -> set[str]:
+    """All names (re)bound anywhere in ``body`` (nested scopes excluded)."""
+    out: set[str] = set()
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            out.add(node.name)
+            continue  # don't descend into nested scopes
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                for sub in ast.walk(t):
+                    if isinstance(sub, ast.Name):
+                        out.add(sub.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    out.add(sub.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name != "*":
+                    out.add((alias.asname or alias.name).split(".")[0])
+        stack.extend(
+            child for child in ast.iter_child_nodes(node)
+            if isinstance(child, ast.stmt)
+        )
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, ast.stmt):
+                stack.extend(
+                    sub for sub in ast.iter_child_nodes(child)
+                    if isinstance(sub, ast.stmt)
+                )
+    return out
+
+
+def scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """All nodes *owned* by ``scope`` — nested def/class bodies excluded.
+
+    This is the node set a :class:`FunctionDataflow` over ``scope`` has
+    keyed; iterating :func:`function_scopes` × :func:`scope_nodes` visits
+    every node of a module exactly once per owning scope.
+    """
+    stack = list(getattr(scope, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def function_scopes(tree: ast.AST) -> Iterator[ast.AST]:
+    """The module itself plus every (nested) function definition."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def get_dataflow(ctx, scope: ast.AST) -> FunctionDataflow:
+    """Per-context cache: one :class:`FunctionDataflow` per scope node."""
+    cache = getattr(ctx, "_dataflows", None)
+    if cache is None:
+        cache = {}
+        ctx._dataflows = cache
+    flow = cache.get(id(scope))
+    if flow is None:
+        flow = FunctionDataflow(scope)
+        cache[id(scope)] = flow
+    return flow

@@ -38,10 +38,13 @@ __all__ = [
     "all_rules",
     "analyze_file",
     "analyze_paths",
+    "apply_baseline",
     "collect_files",
     "get_rule",
+    "known_rule_names",
     "load_baseline",
     "register_rule",
+    "scan_suppressions",
     "write_baseline",
 ]
 
@@ -87,12 +90,18 @@ class Suppression:
 
 
 class LintContext:
-    """Everything a rule needs about one file, parsed exactly once."""
+    """Everything a rule needs about one file, parsed exactly once.
 
-    def __init__(self, path: str, source: str, tree: ast.AST):
+    ``project`` is the cross-file :class:`~tools.reprolint.callgraph.Project`
+    view when the engine runs in project mode, else ``None`` — every rule
+    must degrade gracefully to per-file behaviour without it.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.AST, project=None):
         self.path = path  # repo-relative posix path
         self.source = source
         self.tree = tree
+        self.project = project
         self.lines = source.splitlines()
         self._parents: dict[int, ast.AST] | None = None
 
@@ -138,7 +147,7 @@ class Rule:
     name: str = ""
     summary: str = ""
     invariant: str = ""
-    scope: tuple[str, ...] = ("src", "tests", "benchmarks", "examples")
+    scope: tuple[str, ...] = ("src", "tests", "benchmarks", "examples", "tools")
     exempt: dict[str, str] = {}
 
     def applies(self, path: str) -> bool:
@@ -246,6 +255,48 @@ def scan_suppressions(source: str) -> tuple[list[Suppression], list[Finding]]:
     return suppressions, bad
 
 
+def _stmt_spans(tree: ast.AST) -> dict[int, tuple[int, int]]:
+    """Line -> innermost enclosing suppressible span ``(start, end)``.
+
+    A *simple* statement's span is its full line range, so a trailing
+    disable on a continuation (or closing-paren) line governs the whole
+    statement.  A *compound* statement's span is its header only —
+    decorators through the line before the body — so a disable above a
+    decorated def governs the def without blanketing the body.
+    """
+    spans: dict[int, tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            start = min(
+                [node.lineno]
+                + [d.lineno for d in getattr(node, "decorator_list", [])]
+            )
+            end = max(start, body[0].lineno - 1)
+        else:
+            start = node.lineno
+            end = getattr(node, "end_lineno", None) or node.lineno
+        # ast.walk visits parents before children, so deeper statements
+        # overwrite their enclosing compound's lines — innermost wins.
+        for line in range(start, end + 1):
+            spans[line] = (start, end)
+    return spans
+
+
+def _suppression_matches(
+    sup: Suppression, line: int, spans: dict[int, tuple[int, int]]
+) -> bool:
+    """Whether ``sup`` governs a finding at ``line`` (same statement)."""
+    if sup.target_line == line:
+        return True
+    if sup.target_line < 0:
+        return False
+    span = spans.get(sup.target_line)
+    return span is not None and span == spans.get(line)
+
+
 # -- baseline ------------------------------------------------------------------
 
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
@@ -329,15 +380,19 @@ def analyze_file(
     *,
     root: str | Path | None = None,
     rules: Iterable[Rule] | None = None,
+    project=None,
 ) -> tuple[list[Finding], LintContext | None]:
     """Run ``rules`` (default: all registered) on one file.
 
     Returns post-suppression findings, including engine-emitted
     ``parse-error`` / ``bad-suppression`` / ``unused-suppression`` ones.
+    ``project`` (a :class:`~tools.reprolint.callgraph.Project`) enables
+    the cross-file checks of project-aware rules.
     """
     p = Path(path)
     rel = _relpath(p, Path(root) if root is not None else None)
-    source = p.read_text()
+    # utf-8-sig: a BOM would otherwise reach ast.parse as a stray token.
+    source = p.read_text(encoding="utf-8-sig")
     try:
         tree = ast.parse(source, filename=str(p))
     except SyntaxError as exc:
@@ -345,8 +400,9 @@ def analyze_file(
             Finding(rel, exc.lineno or 1, (exc.offset or 0) + 1, "parse-error",
                     f"syntax error: {exc.msg}")
         ], None
-    ctx = LintContext(rel, source, tree)
+    ctx = LintContext(rel, source, tree, project=project)
     suppressions, bad = scan_suppressions(source)
+    spans = _stmt_spans(tree) if suppressions else {}
     raw: list[Finding] = []
     for rule in (all_rules() if rules is None else rules):
         if rule.applies(rel):
@@ -355,7 +411,8 @@ def analyze_file(
     for f in raw:
         matched = False
         for sup in suppressions:
-            if sup.target_line == f.line and f.rule in sup.rules and sup.has_reason:
+            if (f.rule in sup.rules and sup.has_reason
+                    and _suppression_matches(sup, f.line, spans)):
                 sup.used.add(f.rule)
                 matched = True
         if not matched:
@@ -378,13 +435,14 @@ def analyze_paths(
     *,
     root: str | Path | None = None,
     baseline: dict[tuple[str, str, str], int] | None = None,
+    project=None,
 ) -> tuple[list[Finding], dict[str, LintContext]]:
     """Analyze every file under ``paths``; apply the ``baseline`` budget."""
     findings: list[Finding] = []
     ctxs: dict[str, LintContext] = {}
     budget = dict(baseline) if baseline else {}
     for f in collect_files(paths):
-        file_findings, ctx = analyze_file(f, root=root)
+        file_findings, ctx = analyze_file(f, root=root, project=project)
         if ctx is not None:
             ctxs[ctx.path] = ctx
             if budget:

@@ -13,9 +13,24 @@ import ast
 import re
 from typing import Iterable, Iterator
 
+from tools.reprolint.dataflow import function_scopes, get_dataflow, scope_nodes
 from tools.reprolint.engine import Finding, LintContext, Rule, register_rule
+from tools.reprolint.shapes import (
+    KNOWN_DTYPES,
+    dtype_token,
+    extract_contracts,
+    infer_dtype,
+    infer_shape,
+)
 
 __all__ = []  # rules register themselves; nothing here is a public API
+
+#: Name fragments that mark a value as distance-carrying (shared by the
+#: float-distance-eq and dtype-discipline rules).
+_DISTANCE_NAME = re.compile(
+    r"(^|_)(dist|dists|distance|distances|dt|dg|dh|radius|radii|"
+    r"beta|betas|stretch|weight|weights)($|_)"
+)
 
 
 # -- shared AST helpers --------------------------------------------------------
@@ -307,10 +322,7 @@ class FloatDistanceEqRule(Rule):
     scope = ("src", "benchmarks", "examples")
     exempt = {}
 
-    _DISTANCE = re.compile(
-        r"(^|_)(dist|dists|distance|distances|dt|dg|dh|radius|radii|"
-        r"beta|betas|stretch|weight|weights)($|_)"
-    )
+    _DISTANCE = _DISTANCE_NAME
     _SIZE_ATTRS = {"shape", "size", "ndim", "dtype"}
     _INF_NAMES = {"inf", "INF", "infty"}
 
@@ -413,8 +425,13 @@ class DunderAllRule(Rule):
         "distance_to_set_via_oracle invisible to star-imports and to the "
         "API docs."
     )
-    scope = ("src",)
-    exempt = {}
+    scope = ("src", "tools")
+    exempt = {
+        "tools/reprolint/rules.py": (
+            "rules register themselves via the decorator; the registry, "
+            "not the module namespace, is the public surface"
+        ),
+    }
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         body = getattr(ctx.tree, "body", [])
@@ -580,3 +597,548 @@ class BareExceptRule(Rule):
                     "bare `except:` — name the exception type (it also "
                     "catches KeyboardInterrupt/SystemExit)",
                 )
+
+
+# -- shared dataflow/contract helpers (flow-aware rules, PR 7) -----------------
+
+_SIMPLE_KEY_RE = re.compile(r"^(?:param|name):([A-Za-z_][A-Za-z0-9_.]*)$")
+
+
+def _alias_tail(key: str | None) -> str | None:
+    """Trailing identifier of a simple ``param:``/``name:`` value key."""
+    m = _SIMPLE_KEY_RE.match(key or "")
+    return m.group(1).rsplit(".", 1)[-1] if m else None
+
+
+def _map_call_args(fn: ast.AST, call: ast.Call) -> Iterator[tuple[str, ast.expr]]:
+    """``(parameter name, argument expression)`` pairs for a resolved call."""
+    if any(isinstance(a, ast.Starred) for a in call.args):
+        return
+    params = [a.arg for a in fn.args.posonlyargs + fn.args.args]
+    yield from zip(params, call.args)
+    named = set(params) | {a.arg for a in fn.args.kwonlyargs}
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in named:
+            yield kw.arg, kw.value
+
+
+def _resolved_callee(project, mod, call: ast.Call):
+    """``(qualified name, FunctionDef)`` of a project-local callee, or None.
+
+    Functions whose first parameter is self/cls are skipped: positional
+    mapping across bound/unbound method calls is not reliable statically.
+    """
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    qual = project.resolve(mod, dotted)
+    if qual is None:
+        return None
+    hit = project.lookup_function(qual)
+    if hit is None:
+        return None
+    _, fn = hit
+    pos = fn.args.posonlyargs + fn.args.args
+    if pos and pos[0].arg in ("self", "cls"):
+        return None
+    return qual, fn
+
+
+def _callee_contracts(project, qual: str, fn: ast.AST):
+    """Contract set of a project function, cached on the Project instance."""
+    cache = getattr(project, "_contract_cache", None)
+    if cache is None:
+        cache = {}
+        project._contract_cache = cache
+    cs = cache.get(qual)
+    if cs is None:
+        info, _ = project.lookup_function(qual)
+        cs = extract_contracts(info, fn)
+        cache[qual] = cs
+    return cs
+
+
+def _contract_dims_env(ctx: LintContext, scope: ast.AST) -> dict[str, tuple[str, ...]]:
+    """Parameter → declared dims, for seeding shape inference in a caller."""
+    if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return {}
+    cs = extract_contracts(ctx, scope)
+    return {
+        name: c.dims
+        for name, c in cs.params.items()
+        if c.kind == "array" and c.dims is not None
+    }
+
+
+def _dim_int(dim: str) -> int | None:
+    """A symbolic dimension as a concrete int, when it is one."""
+    if dim.startswith("const:"):
+        dim = dim[len("const:"):]
+    try:
+        return int(dim)
+    except ValueError:
+        return None
+
+
+def _dtype_family(tok: str) -> str:
+    if tok.startswith("float"):
+        return "float"
+    if tok.startswith(("int", "uint")):
+        return "int"
+    if tok.startswith("bool"):
+        return "bool"
+    return tok
+
+
+# -- R10: quadratic transients, dataflow view ----------------------------------
+
+
+@register_rule
+class QuadraticTransientFlowRule(Rule):
+    name = "quadratic-transient-flow"
+    summary = "quadratic transients caught through aliases and derived values"
+    invariant = (
+        "The quadratic-transient ban holds for *values*, not spellings: "
+        "`m = n; np.zeros((n, m))`, a rebound `tri = np.triu_indices`, or "
+        "a bound `pick = rng.choice` reach the same O(n^2) transient "
+        "without the literal tokens the syntactic rule matches.  Dataflow "
+        "value keys prove the two dimensions (or the callee) identical, so "
+        "renaming cannot launder an allocation past review."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {
+        "src/repro/util/pairs.py": "the sanctioned bounded implementation",
+        "src/repro/mbf/zoo.py": (
+            "all-pairs problem decoders: the (n, n) distance map *is* the "
+            "declared output, not a transient"
+        ),
+    }
+
+    _NP_ALLOCS = {f"{mod}.{fn}" for mod in ("numpy", "np")
+                  for fn in ("zeros", "empty", "ones", "full")}
+    _TRIU = {"numpy.triu_indices", "np.triu_indices"}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for scope in function_scopes(ctx.tree):
+            flow = get_dataflow(ctx, scope)
+            for node in scope_nodes(scope):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(ctx, flow, node)
+
+    def _check_call(self, ctx: LintContext, flow, call: ast.Call) -> Iterator[Finding]:
+        fkey = flow.call_target(call) or ""
+        dotted = fkey.removeprefix("name:") if fkey.startswith("name:") else ""
+        tname = terminal_name(call.func)
+        if dotted in self._NP_ALLOCS:
+            shape = call.args[0] if call.args else keyword_value(call, "shape")
+            if (isinstance(shape, ast.Tuple) and len(shape.elts) == 2
+                    and not self._syntactic_dupe(shape)):
+                k0 = flow.key_of(shape.elts[0])
+                if (k0 is not None and k0 == flow.key_of(shape.elts[1])
+                        and not k0.startswith("const:")):
+                    yield ctx.finding(
+                        call, self,
+                        "both dimensions of this allocation resolve to the "
+                        f"same value ({k0}) — an (n, n) transient reached "
+                        "through an alias/derived name; chunk the pair axis "
+                        "or suppress with the reason it is output-sized",
+                    )
+        if dotted in self._TRIU and tname != "triu_indices":
+            yield ctx.finding(
+                call, self,
+                f"'{tname}' is an alias of np.triu_indices — it materializes "
+                "an (n, n) mask; use repro.util.pairs.all_pairs",
+            )
+        if (fkey.endswith(".choice") and tname != "choice"
+                and is_const(keyword_value(call, "replace"), False)):
+            yield ctx.finding(
+                call, self,
+                f"'{tname}' is a bound Generator.choice — replace=False "
+                "builds a full permutation; use "
+                "repro.util.pairs.sample_distinct",
+            )
+
+    @staticmethod
+    def _syntactic_dupe(shape: ast.Tuple) -> bool:
+        # The exact pattern the syntactic quadratic-transient rule already
+        # reports; re-reporting it here would double every finding.
+        return (all(isinstance(e, ast.Name) for e in shape.elts)
+                and shape.elts[0].id == shape.elts[1].id)
+
+
+# -- R11: shape contracts ------------------------------------------------------
+
+
+@register_rule
+class ShapeContractRule(Rule):
+    name = "shape-contract"
+    summary = "public kernels declare shape contracts; call sites respect them"
+    invariant = (
+        "Every public kernel in the batched modules declares its array "
+        "shapes machine-readably (`# shape: (k, n) float64` signature "
+        "comments or numpydoc ``(k, n)`` blocks); contracts must parse, "
+        "agree between comment and docstring, and — in project mode — "
+        "match what symbolic shape inference proves about each call site.  "
+        "ROADMAP items 3-4 (compiled kernels, memmap states) cannot be "
+        "built on undeclared shapes."
+    )
+    scope = ("src",)
+    exempt = {}
+
+    _MARKER = "# reprolint: shape-contracts-required"
+    _REQUIRED = frozenset({
+        "src/repro/mbf/dense.py",
+        "src/repro/mbf/scalar.py",
+        "src/repro/frt/forest.py",
+        "src/repro/apps/batched.py",
+    })
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        required = ctx.path in self._REQUIRED or self._MARKER in ctx.source
+        top_level = {id(s) for s in getattr(ctx.tree, "body", [])}
+        for scope in function_scopes(ctx.tree):
+            if scope is ctx.tree:
+                continue
+            cs = extract_contracts(ctx, scope)
+            for line, msg in cs.problems:
+                yield ctx.finding(line, self, msg)
+            if (not required or id(scope) not in top_level
+                    or scope.name.startswith("_")):
+                continue
+            if cs.empty:
+                yield ctx.finding(
+                    scope, self,
+                    f"public kernel '{scope.name}' declares no shape "
+                    "contract — annotate array parameters with trailing "
+                    "'# shape: (...)' comments (convention: "
+                    "tools/reprolint/shapes.py)",
+                )
+                continue
+            for a in (scope.args.posonlyargs + scope.args.args
+                      + scope.args.kwonlyargs):
+                if a.arg in ("self", "cls"):
+                    continue
+                if _mentions_ndarray(a.annotation) and a.arg not in cs.params:
+                    yield ctx.finding(
+                        a, self,
+                        f"ndarray parameter '{a.arg}' of '{scope.name}' has "
+                        "no shape contract",
+                    )
+        yield from self._check_call_sites(ctx)
+
+    def _check_call_sites(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        if project is None:
+            return
+        mod = project.module_for_path(ctx.path)
+        if mod is None:
+            return
+        for scope in function_scopes(ctx.tree):
+            flow = get_dataflow(ctx, scope)
+            env = _contract_dims_env(ctx, scope)
+            for node in scope_nodes(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = _resolved_callee(project, mod, node)
+                if target is None:
+                    continue
+                qual, callee_fn = target
+                cs = _callee_contracts(project, qual, callee_fn)
+                short = qual.rsplit(".", 1)[-1]
+                for pname, arg in _map_call_args(callee_fn, node):
+                    c = cs.params.get(pname)
+                    if c is None or c.kind != "array" or c.dims is None:
+                        continue
+                    inferred = infer_shape(flow, arg, env=env)
+                    if inferred is None:
+                        continue
+                    if len(inferred) != len(c.dims):
+                        yield ctx.finding(
+                            arg, self,
+                            f"argument '{pname}' to {short}() has rank "
+                            f"{len(inferred)}, but its contract declares "
+                            f"({', '.join(c.dims)})",
+                        )
+                        continue
+                    for di, ci in zip(inferred, c.dims):
+                        a_i, b_i = _dim_int(di), _dim_int(ci)
+                        if a_i is not None and b_i is not None and a_i != b_i:
+                            yield ctx.finding(
+                                arg, self,
+                                f"dimension mismatch in argument '{pname}' "
+                                f"to {short}(): inferred extent {a_i}, "
+                                f"contract declares {ci}",
+                            )
+                            break
+
+
+def _mentions_ndarray(ann: ast.expr | None) -> bool:
+    if ann is None:
+        return False
+    for node in ast.walk(ann):
+        if isinstance(node, ast.Attribute) and node.attr == "ndarray":
+            return True
+        if isinstance(node, ast.Name) and node.id == "ndarray":
+            return True
+        if (isinstance(node, ast.Constant) and isinstance(node.value, str)
+                and "ndarray" in node.value):
+            return True
+    return False
+
+
+# -- R12: dtype discipline -----------------------------------------------------
+
+
+@register_rule
+class DtypeDisciplineRule(Rule):
+    name = "dtype-discipline"
+    summary = "no narrowing or integer casts on distance-carrying arrays"
+    invariant = (
+        "Distances, radii, betas, and weights are float64 end to end: the "
+        "stretch bounds are proved for exact expected values, and a silent "
+        "float32 narrowing (or an int cast) at one call boundary poisons "
+        "every downstream comparison while staying bit-plausible in tests.  "
+        "Casts on distance-like arrays, and call-site dtypes conflicting "
+        "with a declared contract, are findings."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {}
+
+    _BAD_CASTS = frozenset({"float32", "float16"}) | frozenset(
+        d for d in KNOWN_DTYPES if d.startswith(("int", "uint"))
+    )
+    _CAST_FNS = {"asarray", "array", "ascontiguousarray"}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for scope in function_scopes(ctx.tree):
+            flow = get_dataflow(ctx, scope)
+            for node in scope_nodes(scope):
+                if isinstance(node, ast.Call):
+                    yield from self._check_cast(ctx, flow, node)
+                elif isinstance(node, ast.Assign):
+                    yield from self._check_alloc(ctx, flow, node)
+        yield from self._check_call_sites(ctx)
+
+    def _check_cast(self, ctx: LintContext, flow, call: ast.Call) -> Iterator[Finding]:
+        tname = terminal_name(call.func)
+        if (tname == "astype" and call.args
+                and isinstance(call.func, ast.Attribute)):
+            tok = dtype_token(call.args[0])
+            recv = call.func.value
+            if tok in self._BAD_CASTS and self._distance_like(flow, recv):
+                yield ctx.finding(
+                    call, self,
+                    f".astype({tok}) on distance-like array "
+                    f"'{self._display(flow, recv)}' — distance values stay "
+                    "float64 end to end",
+                )
+        elif tname in self._CAST_FNS and call.args:
+            tok = dtype_token(keyword_value(call, "dtype"))
+            if tok in self._BAD_CASTS and self._distance_like(flow, call.args[0]):
+                yield ctx.finding(
+                    call, self,
+                    f"{tname}(..., dtype={tok}) on distance-like value "
+                    f"'{self._display(flow, call.args[0])}' — distance "
+                    "values stay float64 end to end",
+                )
+
+    def _check_alloc(self, ctx: LintContext, flow, assign: ast.Assign) -> Iterator[Finding]:
+        if not (isinstance(assign.value, ast.Call)
+                and len(assign.targets) == 1
+                and isinstance(assign.targets[0], ast.Name)):
+            return
+        name = assign.targets[0].id
+        if not _DISTANCE_NAME.search(name.lower()):
+            return
+        call = assign.value
+        if terminal_name(call.func) not in (
+            QuadraticTransientRule._ALLOC_FNS | self._CAST_FNS
+        ):
+            return
+        tok = dtype_token(keyword_value(call, "dtype"))
+        if tok in self._BAD_CASTS:
+            yield ctx.finding(
+                call, self,
+                f"distance-like array '{name}' allocated as {tok} — "
+                "distance values stay float64 end to end",
+            )
+
+    def _check_call_sites(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        if project is None:
+            return
+        mod = project.module_for_path(ctx.path)
+        if mod is None:
+            return
+        for scope in function_scopes(ctx.tree):
+            flow = get_dataflow(ctx, scope)
+            for node in scope_nodes(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = _resolved_callee(project, mod, node)
+                if target is None:
+                    continue
+                qual, callee_fn = target
+                cs = _callee_contracts(project, qual, callee_fn)
+                for pname, arg in _map_call_args(callee_fn, node):
+                    c = cs.params.get(pname)
+                    if c is None or c.dtype is None:
+                        continue
+                    got = infer_dtype(flow, arg)
+                    if got is None or got == c.dtype:
+                        continue
+                    if self._conflicts(c.dtype, got):
+                        yield ctx.finding(
+                            arg, self,
+                            f"argument '{pname}' to {qual.rsplit('.', 1)[-1]}()"
+                            f" carries dtype {got}, but its contract declares "
+                            f"{c.dtype}",
+                        )
+
+    @staticmethod
+    def _conflicts(declared: str, got: str) -> bool:
+        fd, fg = _dtype_family(declared), _dtype_family(got)
+        if "bool" in (fd, fg):
+            return False  # masks mix with ints/floats by design
+        if fd != fg:
+            return True
+        return fd == "float" and declared == "float64" and got != "float64"
+
+    def _distance_like(self, flow, node: ast.expr) -> bool:
+        base = node.value if isinstance(node, ast.Subscript) else node
+        name = terminal_name(base)
+        if name and _DISTANCE_NAME.search(name.lower()):
+            return True
+        tail = _alias_tail(flow.key_of(base))
+        return bool(tail and _DISTANCE_NAME.search(tail.lower()))
+
+    @staticmethod
+    def _display(flow, node: ast.expr) -> str:
+        base = node.value if isinstance(node, ast.Subscript) else node
+        return terminal_name(base) or _alias_tail(flow.key_of(base)) or "value"
+
+
+# -- R13: RNG stream flow ------------------------------------------------------
+
+
+@register_rule
+class RngStreamFlowRule(Rule):
+    name = "rng-stream-flow"
+    summary = "accept a generator OR construct one — never both; ordered draws"
+    invariant = (
+        "A function that accepts a generator derives *all* randomness from "
+        "it: constructing a fresh stream (as_rng on a non-rng value, "
+        "split_seed) alongside an rng parameter silently decouples the "
+        "call from the caller's seed and breaks replay.  Draw order must "
+        "also never depend on dict/set iteration order — a hash-ordered "
+        "loop permutes the stream between runs while every individual draw "
+        "still looks correct."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {
+        "src/repro/util/rng.py": "the sanctioned construction site",
+    }
+
+    _CTORS = {"as_rng", "spawn_rngs"}
+    _DRAWS = {
+        "random", "integers", "uniform", "normal", "standard_normal",
+        "permutation", "choice", "shuffle", "geometric", "exponential",
+        "poisson", "spawn",
+    }
+    _UNORDERED_VIEWS = {"items", "keys", "values"}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for scope in function_scopes(ctx.tree):
+            flow = get_dataflow(ctx, scope)
+            rng_params = self._rng_params(scope)
+            if rng_params:
+                yield from self._check_ctors(ctx, flow, scope, rng_params)
+            yield from self._check_iteration(ctx, flow, scope, rng_params)
+
+    @staticmethod
+    def _rng_params(scope: ast.AST) -> list[str]:
+        args = getattr(scope, "args", None)
+        if args is None:
+            return []
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        return [n for n in names if n in ("rng", "rngs")]
+
+    def _check_ctors(self, ctx: LintContext, flow, fn: ast.AST,
+                     rng_params: list[str]) -> Iterator[Finding]:
+        for node in scope_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            tname = terminal_name(node.func)
+            if tname == "split_seed":
+                yield ctx.finding(
+                    node, self,
+                    f"split_seed() inside '{fn.name}', which already accepts "
+                    f"'{rng_params[0]}' — spawn child streams from the "
+                    "generator (spawn_rngs) instead of re-splitting a seed",
+                )
+            elif tname in self._CTORS and node.args:
+                if not self._derives_from(flow, node.args[0], rng_params):
+                    yield ctx.finding(
+                        node, self,
+                        f"{tname}() constructs a stream independent of "
+                        f"parameter '{rng_params[0]}' — a function accepts a "
+                        "generator or constructs one, never both",
+                    )
+
+    @staticmethod
+    def _derives_from(flow, arg: ast.expr, rng_params: list[str]) -> bool:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name) and sub.id in rng_params:
+                return True
+        key = flow.key_of(arg) or ""
+        return any(
+            re.match(rf"^param:{p}($|[.\[(])", key) for p in rng_params
+        )
+
+    def _check_iteration(self, ctx: LintContext, flow, scope: ast.AST,
+                         rng_params: list[str]) -> Iterator[Finding]:
+        gens = set(rng_params)
+        for name, defs in flow.defs.items():
+            for assign, _ in defs:
+                value = getattr(assign, "value", None)
+                if (isinstance(value, ast.Call)
+                        and terminal_name(value.func) in self._CTORS):
+                    gens.add(name)
+        if not gens:
+            return
+        reported: set[int] = set()
+        for node in scope_nodes(scope):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not self._unordered_iter(node.iter):
+                continue
+            for call in scope_nodes(node):
+                if id(call) in reported or not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not (isinstance(func, ast.Attribute)
+                        and func.attr in self._DRAWS):
+                    continue
+                base = func.value
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id in gens:
+                    reported.add(id(call))
+                    yield ctx.finding(
+                        call, self,
+                        f"draw from '{base.id}' inside iteration over an "
+                        "unordered dict/set view — draw order becomes "
+                        "hash-order dependent; iterate sorted(...) instead",
+                    )
+
+    @classmethod
+    def _unordered_iter(cls, it: ast.expr) -> bool:
+        if isinstance(it, (ast.Set, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(it, ast.Call):
+            f = it.func
+            if isinstance(f, ast.Name) and f.id in {"set", "frozenset"}:
+                return True
+            if isinstance(f, ast.Attribute) and f.attr in cls._UNORDERED_VIEWS:
+                return True
+        return False
