@@ -24,7 +24,10 @@ subpackages for the full API:
 - :mod:`repro.frt` — LE lists and FRT tree embeddings (Section 7),
 - :mod:`repro.congest` — distributed (Congest) algorithms (Section 8),
 - :mod:`repro.apps` — k-median and buy-at-bulk (Sections 9-10),
-- :mod:`repro.pram` — the work/depth cost model.
+- :mod:`repro.pram` — the work/depth cost model,
+- :mod:`repro.io` — versioned, provenance-stamped artifact files,
+- :mod:`repro.serve` — batched distance-oracle serving over preloaded
+  forests (the offline-build / online-serve split).
 """
 
 from repro.api.configs import (

@@ -146,6 +146,19 @@ __all__ = [
     "HopSetResult",
     "MetricResult",
     "HOracle",
+    # artifacts + serving (the offline-build / online-serve split)
+    "ArtifactError",
+    "content_fingerprint",
+    "save_forest",
+    "load_forest",
+    "save_result",
+    "load_result",
+    "save_metric",
+    "load_metric",
+    "read_artifact_meta",
+    "ForestServer",
+    "ServeRequest",
+    "load_server",
     # lazy application re-exports (resolved on first access)
     "kmedian",
     "kmedian_cost",
@@ -168,6 +181,20 @@ __all__ = [
 # cycle; PEP 562 lazy attributes break the loop while keeping
 # ``from repro.api import kmedian`` working.
 _LAZY_EXPORTS = {
+    # Artifact I/O and serving stay lazy for the same reason: repro.io
+    # reaches back into repro.api.result when rehydrating ensembles.
+    "ArtifactError": "repro.io.artifacts",
+    "content_fingerprint": "repro.io.artifacts",
+    "save_forest": "repro.io.artifacts",
+    "load_forest": "repro.io.artifacts",
+    "save_result": "repro.io.artifacts",
+    "load_result": "repro.io.artifacts",
+    "save_metric": "repro.io.artifacts",
+    "load_metric": "repro.io.artifacts",
+    "read_artifact_meta": "repro.io.artifacts",
+    "ForestServer": "repro.serve.server",
+    "ServeRequest": "repro.serve.server",
+    "load_server": "repro.serve.server",
     "kmedian": "repro.apps.kmedian",
     "kmedian_cost": "repro.apps.kmedian",
     "kmedian_greedy": "repro.apps.kmedian",

@@ -533,6 +533,42 @@ class Pipeline:
         """Constant-time approximate distance queries on this graph."""
         return DistanceOracle(self.embed_metric())
 
+    # -- artifacts (offline half of the build/serve split) --------------------
+
+    def save_artifacts(
+        self,
+        path,
+        k: int,
+        *,
+        seed: int | None = None,
+        workers: int | None = None,
+    ) -> dict:
+        """Offline build step: sample a ``k``-ensemble and persist it.
+
+        One call produces the artifact file the online side preloads
+        (``repro.serve.load_server`` or :meth:`from_artifacts`): samples a
+        batched ensemble (``mode="batched"`` — the stacked forest *is* the
+        storage format), stamps the provenance fingerprint, and writes a
+        ``"result"`` artifact via :func:`repro.io.save_result`.  Returns
+        the written artifact meta.
+        """
+        result = self.sample_ensemble(k, seed=seed, workers=workers, mode="batched")
+        return result.save(path)
+
+    @staticmethod
+    def from_artifacts(path, *, mmap: bool = False) -> PipelineResult:
+        """Rehydrate a persisted ensemble — no graph, no rebuild.
+
+        The loaded :class:`~repro.api.result.PipelineResult` carries the
+        forest, per-sample embeddings (zero-copy views into it), ledger
+        totals, timings, and the stamped provenance; queries are
+        bit-identical to the result that was saved.  ``mmap=True`` maps
+        the stacked arrays read-only from the file.
+        """
+        from repro.io.artifacts import load_result
+
+        return load_result(path, mmap=mmap)
+
     # -- introspection --------------------------------------------------------
 
     def _needs_build(self) -> bool:
@@ -541,12 +577,30 @@ class Pipeline:
         return self._oracle is None
 
     def _provenance(self, **extra) -> dict:
+        from repro.io.artifacts import content_fingerprint
+
+        # The stable content identity: configs + seeds only.  Run-specific
+        # noise (stats, timings) and execution knobs that provably do not
+        # change the result (mode, workers) are excluded, so equal-content
+        # runs share cache keys and artifact filenames.
+        fingerprint = content_fingerprint(
+            {
+                "config": self.config.to_dict(),
+                "n": self.G.n,
+                "m": self.G.m,
+                "method": self.config.embedding.method,
+                "backend": self.config.embedding.backend,
+                "k": extra.get("k"),
+                "seed": extra.get("seed"),
+            }
+        )
         meta: dict = {
             "config": self.config.to_dict(),
             "n": self.G.n,
             "m": self.G.m,
             "method": self.config.embedding.method,
             "backend": self.config.embedding.backend,
+            "fingerprint": fingerprint,
             "stats": dict(self.stats),
             **extra,
         }

@@ -123,6 +123,26 @@ class PipelineResult:
         when the batch was sampled with ``mode="batched"``."""
         return FRTEnsemble(list(self.embeddings), forest=self.forest)
 
+    @property
+    def fingerprint(self) -> str | None:
+        """Stable content identity (hash of configs + seeds) stamped by
+        the pipeline — the cache/artifact key that does not depend on
+        object identity.  ``None`` for results built outside the facade."""
+        return self.meta.get("fingerprint")
+
+    def save(self, path) -> dict:
+        """Persist this batched ensemble as one artifact file.
+
+        Delegates to :func:`repro.io.save_result` (schema-versioned,
+        provenance-stamped, round-trips bit-identically through
+        ``Pipeline.from_artifacts`` / :func:`repro.io.load_result`).
+        Requires ``mode="batched"`` sampling — the stacked forest is the
+        storage format.  Returns the written artifact meta.
+        """
+        from repro.io.artifacts import save_result
+
+        return save_result(path, self)
+
 
 @dataclass(frozen=True)
 class DistanceOracle:

@@ -1,0 +1,26 @@
+"""Batched distance-oracle serving over persisted forests (online half).
+
+``repro.serve`` answers many small queries against one preloaded
+:class:`~repro.frt.forest.FRTForest` at vectorized-batch throughput:
+micro-batching coalesces pending requests into one pair-axis call, an
+LRU cache keyed on the artifact fingerprint absorbs repeats, and every
+request is counted for QPS/latency reporting.  See
+:mod:`repro.serve.server` for the mechanics and :mod:`repro.io` for the
+offline half.
+"""
+
+from repro.serve.server import (
+    PAIR_KINDS,
+    ForestServer,
+    ServeRequest,
+    load_server,
+    unique_pairs,
+)
+
+__all__ = [
+    "ForestServer",
+    "PAIR_KINDS",
+    "ServeRequest",
+    "load_server",
+    "unique_pairs",
+]

@@ -1,0 +1,406 @@
+"""In-process batched serving over a preloaded FRT forest (online half).
+
+The offline/online split of ROADMAP item 2: :mod:`repro.io` persists the
+expensive pipeline outputs; :class:`ForestServer` preloads one forest
+artifact and answers many *small* distance queries at the throughput of
+the PR 4 vectorized pair-axis path.  Three mechanisms stack:
+
+1. **Micro-batching** — callers :meth:`~ForestServer.submit` requests
+   that park in a pending queue; :meth:`~ForestServer.flush` (triggered
+   explicitly, by queue depth, or lazily by the first ``result()`` call)
+   coalesces every cache-miss pair across all pending requests into *one*
+   ``forest.distances`` call.  The poll → batch → process → resolve shape
+   follows the job harness ROADMAP cites.
+2. **Pair dedup** — coalesced pairs are uniqued on the composite key
+   ``u * n + v`` (:func:`unique_pairs`), so a hot pair requested by many
+   callers in one batch costs one column of the gather.
+3. **LRU result caching** — resolved values are cached per
+   ``(artifact fingerprint, query kind, pair key)``; repeat queries skip
+   the forest entirely.  ``"distances"`` caches the full per-sample
+   column, the reduced kinds (``"distance_upper_bounds"``,
+   ``"median_distances"``) cache scalars, and k-median caches on a digest
+   of ``(weights, k, allowed)``.
+
+Every request is counted: :meth:`~ForestServer.stats` reports request and
+batch totals, mean batch size, cache hit rate, and submit→resolve latency
+percentiles — the observability surface ``bench_e15`` turns into QPS-at-
+fixed-p99 numbers.  The server is deliberately in-process and
+single-threaded: the unit being measured is coalescing + caching, not a
+transport.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.batched import hst_kmedian_dp_forest
+from repro.frt.forest import FRTForest
+
+__all__ = [
+    "ForestServer",
+    "PAIR_KINDS",
+    "ServeRequest",
+    "load_server",
+    "unique_pairs",
+]
+
+#: Query kinds answered from one coalesced pair-axis ``forest.distances``
+#: call.  ``"distances"`` returns the per-sample ``(size, P)`` block; the
+#: other two reduce over the sample axis per pair.
+PAIR_KINDS = ("distances", "distance_upper_bounds", "median_distances")
+
+_LATENCY_WINDOW = 4096
+_PCTS = (50, 90, 99)
+
+
+def unique_pairs(
+    us: np.ndarray,  # shape: (p,) int64
+    vs: np.ndarray,  # shape: (p,) int64
+    n: int,  # shape: scalar
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dedup query pairs on the composite key ``us * n + vs``.
+
+    Returns ``(keys, uu, vv)``: the sorted unique composite keys and the
+    corresponding vertex pairs, so ``P`` requested pairs cost
+    ``len(keys) <= P`` columns of the coalesced gather.  Map any pair
+    back to its column with ``np.searchsorted(keys, u * n + v)``.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    keys = np.unique(us * np.int64(n) + vs)
+    return keys, keys // n, keys % n
+
+
+@dataclass
+class ServeRequest:
+    """One pending query: resolves to its value at the next batch flush.
+
+    ``result()`` flushes the owning server if the value is not in yet, so
+    a submit-then-result loop degrades gracefully to unbatched serving —
+    the benchmark's baseline.
+    """
+
+    kind: str
+    server: "ForestServer"
+    _value: np.ndarray | None = field(default=None, repr=False)
+    _submitted: float = field(default=0.0, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self._value is not None
+
+    def result(self) -> np.ndarray:
+        """The query's value; triggers a flush when still pending."""
+        if self._value is None:
+            self.server.flush()
+        if self._value is None:  # pragma: no cover - flush() always resolves
+            raise RuntimeError("request unresolved after flush")
+        return self._value
+
+    def _resolve(self, value: np.ndarray, now: float) -> None:
+        self._value = value
+        self.server._latencies.append(now - self._submitted)
+
+
+class ForestServer:
+    """Batched distance-oracle serving over one preloaded forest.
+
+    Parameters
+    ----------
+    forest:
+        The preloaded :class:`~repro.frt.forest.FRTForest` (typically via
+        :func:`load_server` with ``mmap=True`` for zero-copy cold starts).
+    fingerprint:
+        Stable artifact identity for cache keys; defaults to
+        ``"unversioned"`` when the forest was never persisted.
+    cache_size:
+        Max cached entries *per query kind* (LRU eviction).  ``0``
+        disables caching.
+    max_pending:
+        Auto-flush threshold: a batch flushes as soon as its pending
+        requests cover this many pairs.
+    """
+
+    def __init__(
+        self,
+        forest: FRTForest,
+        *,
+        fingerprint: str | None = None,
+        cache_size: int = 65536,
+        max_pending: int = 4096,
+    ):
+        if not isinstance(forest, FRTForest):
+            raise TypeError(f"ForestServer needs an FRTForest, got {type(forest)!r}")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.forest = forest
+        self.fingerprint = fingerprint or "unversioned"
+        self.cache_size = int(cache_size)
+        self.max_pending = int(max_pending)
+        self._pending: list[tuple[ServeRequest, np.ndarray, np.ndarray]] = []
+        self._pending_pairs = 0
+        # One LRU per kind; keys are (fingerprint, kind, pair-or-digest key).
+        self._cache: dict[str, OrderedDict] = {k: OrderedDict() for k in PAIR_KINDS}
+        self._cache["kmedian"] = OrderedDict()
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._counts = {
+            "requests": 0,
+            "batches": 0,
+            "batched_pairs": 0,
+            "coalesced_pairs": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+
+    # -- request intake --------------------------------------------------------
+
+    def submit(self, kind: str, us, vs) -> ServeRequest:
+        """Queue one pair-axis query; returns its :class:`ServeRequest`.
+
+        ``kind`` is one of :data:`PAIR_KINDS`.  The request resolves at
+        the next :meth:`flush` — which this call triggers itself once the
+        pending queue covers :attr:`max_pending` pairs.
+        """
+        if kind not in PAIR_KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; expected one of {PAIR_KINDS}")
+        us = np.atleast_1d(np.asarray(us, dtype=np.int64))
+        vs = np.atleast_1d(np.asarray(vs, dtype=np.int64))
+        if us.shape != vs.shape or us.ndim != 1:
+            raise ValueError(f"us/vs must be equal-length 1-d, got {us.shape} vs {vs.shape}")
+        n = self.forest.n
+        if us.size and (us.min() < 0 or vs.min() < 0 or us.max() >= n or vs.max() >= n):
+            raise ValueError(f"vertex ids must lie in [0, n={n})")
+        req = ServeRequest(kind=kind, server=self)
+        req._submitted = time.perf_counter()
+        self._counts["requests"] += 1
+        if us.size == 0:
+            shape = (self.forest.size, 0) if kind == "distances" else (0,)
+            req._resolve(np.empty(shape), time.perf_counter())
+            return req
+        self._pending.append((req, us, vs))
+        self._pending_pairs += us.size
+        if self._pending_pairs >= self.max_pending:
+            self.flush()
+        return req
+
+    def distances(self, us, vs) -> np.ndarray:
+        """Synchronous ``(size, P)`` per-sample distances (submit + flush)."""
+        return self.submit("distances", us, vs).result()
+
+    def distance_upper_bounds(self, us, vs) -> np.ndarray:
+        """Synchronous ``(P,)`` per-pair min over samples."""
+        return self.submit("distance_upper_bounds", us, vs).result()
+
+    def median_distances(self, us, vs) -> np.ndarray:
+        """Synchronous ``(P,)`` per-pair median over samples."""
+        return self.submit("median_distances", us, vs).result()
+
+    # -- the micro-batcher -----------------------------------------------------
+
+    def flush(self) -> int:
+        """Resolve every pending request with one coalesced forest call.
+
+        Cache-hit pairs are answered from the LRU; the remaining pairs —
+        across *all* pending requests and kinds — are uniqued and gathered
+        in a single ``forest.distances`` call (the PR 4 chunked pair-axis
+        path), then sliced back per request.  Returns the number of
+        requests resolved.
+        """
+        pending, self._pending = self._pending, []
+        self._pending_pairs = 0
+        if not pending:
+            return 0
+        n = self.forest.n
+        self._counts["batches"] += 1
+        self._counts["batched_pairs"] += sum(us.size for _, us, _ in pending)
+
+        # Pass 1: split each request's pairs into cache hits and misses,
+        # snapshotting hit values now — later cache-puts in this very
+        # flush may evict them before the request is assembled.
+        hits: list[np.ndarray] = []  # per request: bool mask of cached pairs
+        hit_vals: list[list] = []  # per request: cached value or None per pair
+        miss_keys: list[np.ndarray] = []
+        for req, us, vs in pending:
+            keys = us * np.int64(n) + vs
+            cache = self._cache[req.kind]
+            if cache:
+                vals = [
+                    self._cache_get(cache, (self.fingerprint, req.kind, int(k)))
+                    for k in keys
+                ]
+                hit = np.array([v is not None for v in vals], dtype=bool)
+            else:
+                vals = []
+                hit = np.zeros(keys.size, dtype=bool)
+            hits.append(hit)
+            hit_vals.append(vals)
+            if not hit.all():
+                miss_keys.append(keys[~hit])
+            self._counts["cache_hits"] += int(hit.sum())
+            self._counts["cache_misses"] += int(keys.size - hit.sum())
+
+        # Pass 2: one vectorized call over the deduped union of misses.
+        if miss_keys:
+            all_miss = np.concatenate(miss_keys)
+            ukeys = np.unique(all_miss)
+            self._counts["coalesced_pairs"] += int(ukeys.size)
+            block = self.forest.distances(ukeys // n, ukeys % n)  # (size, U)
+        else:
+            ukeys = np.empty(0, dtype=np.int64)
+            block = np.empty((self.forest.size, 0))
+
+        # Pass 3: assemble each request's answer, populating the caches.
+        now = time.perf_counter()
+        for (req, us, vs), hit, vals in zip(pending, hits, hit_vals):
+            keys = us * np.int64(n) + vs
+            cache = self._cache[req.kind]
+            if req.kind == "distances":
+                out = np.empty((self.forest.size, keys.size))
+            else:
+                out = np.empty(keys.size)
+            miss = ~hit
+            if miss.any():
+                cols = np.searchsorted(ukeys, keys[miss])
+                sub = block[:, cols]
+                if req.kind == "distance_upper_bounds":
+                    out[miss] = sub.min(axis=0)
+                elif req.kind == "median_distances":
+                    out[miss] = np.median(sub, axis=0)
+                else:
+                    out[:, miss] = sub
+                if self.cache_size > 0:
+                    for j, key in zip(np.flatnonzero(miss), keys[miss]):
+                        self._cache_put(
+                            cache,
+                            (self.fingerprint, req.kind, int(key)),
+                            out[:, j].copy()
+                            if req.kind == "distances"
+                            else float(out[j]),
+                        )
+            for j in np.flatnonzero(hit):
+                if req.kind == "distances":
+                    out[:, j] = vals[j]
+                else:
+                    out[j] = vals[j]
+            req._resolve(out, now)
+        return len(pending)
+
+    # -- k-median --------------------------------------------------------------
+
+    def kmedian(self, leaf_weights, k: int, *, allowed=None):
+        """Optimal k-median over every tree of the preloaded forest.
+
+        Delegates to
+        :func:`~repro.apps.batched.hst_kmedian_dp_forest`; the
+        ``(costs, facilities)`` answer is cached on a digest of
+        ``(leaf_weights, k, allowed)`` under the artifact fingerprint, and
+        the call is counted in :meth:`stats` like any other request.
+        K-median runs eagerly (it is not a pair query), so it never waits
+        on the micro-batcher.
+        """
+        t0 = time.perf_counter()
+        self._counts["requests"] += 1
+        weights = np.asarray(leaf_weights, dtype=np.float64)
+        mask = None if allowed is None else np.asarray(allowed, dtype=bool)
+        h = hashlib.sha256()
+        h.update(weights.tobytes())
+        h.update(str(int(k)).encode())
+        if mask is not None:
+            h.update(mask.tobytes())
+        key = (self.fingerprint, "kmedian", h.hexdigest())
+        cache = self._cache["kmedian"]
+        hit = self._cache_get(cache, key)
+        if hit is not None:
+            self._counts["cache_hits"] += 1
+            costs, facilities = hit
+        else:
+            self._counts["cache_misses"] += 1
+            costs, facilities = hst_kmedian_dp_forest(self.forest, weights, k, allowed=mask)
+            self._cache_put(cache, key, (costs, facilities))
+        self._latencies.append(time.perf_counter() - t0)
+        return costs.copy(), [f.copy() for f in facilities]
+
+    # -- cache + stats ---------------------------------------------------------
+
+    def _cache_get(self, cache: OrderedDict, key):
+        if key not in cache:
+            return None
+        cache.move_to_end(key)
+        return cache[key]
+
+    def _cache_put(self, cache: OrderedDict, key, value) -> None:
+        if self.cache_size == 0:
+            return
+        cache[key] = value
+        cache.move_to_end(key)
+        while len(cache) > self.cache_size:
+            cache.popitem(last=False)
+
+    def stats(self) -> dict:
+        """Serving counters as a plain dict (JSON-able, benchmark-ready).
+
+        Keys: ``requests``, ``batches``, ``batched_pairs``,
+        ``coalesced_pairs`` (deduped pairs actually gathered),
+        ``mean_batch_size`` (pairs per flush), ``cache_hits`` /
+        ``cache_misses`` / ``cache_hit_rate``, ``cache_entries``, and
+        ``latency_p50`` / ``latency_p90`` / ``latency_p99`` in seconds
+        over the last ``4096`` resolved requests.
+        """
+        c = dict(self._counts)
+        lookups = c["cache_hits"] + c["cache_misses"]
+        c["cache_hit_rate"] = c["cache_hits"] / lookups if lookups else 0.0
+        c["mean_batch_size"] = c["batched_pairs"] / c["batches"] if c["batches"] else 0.0
+        c["cache_entries"] = sum(len(v) for v in self._cache.values())
+        c["pending"] = len(self._pending)
+        if self._latencies:
+            lat = np.fromiter(self._latencies, dtype=np.float64)
+            for p in _PCTS:
+                c[f"latency_p{p}"] = float(np.percentile(lat, p))
+        else:
+            for p in _PCTS:
+                c[f"latency_p{p}"] = 0.0
+        return c
+
+    def reset_stats(self) -> None:
+        """Zero every counter and drop the latency window (cache kept)."""
+        self._counts = {k: 0 for k in self._counts}
+        self._latencies.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ForestServer(n={self.forest.n}, size={self.forest.size}, "
+            f"fingerprint={self.fingerprint[:12]!r}, "
+            f"cached={sum(len(v) for v in self._cache.values())})"
+        )
+
+
+def load_server(
+    path,  # shape: scalar
+    *,
+    mmap: bool = True,  # shape: scalar
+    cache_size: int = 65536,  # shape: scalar
+    max_pending: int = 4096,  # shape: scalar
+) -> ForestServer:
+    """Cold-start a :class:`ForestServer` from a forest/result artifact.
+
+    The one-call online entry point: loads the forest (memmapped by
+    default, so cold start does not read the stacked CSR payload) and
+    keys the server's cache on the artifact's stamped fingerprint.
+    """
+    from repro.io.artifacts import load_forest, read_artifact_meta
+
+    meta = read_artifact_meta(path)
+    forest = load_forest(path, mmap=mmap)
+    return ForestServer(
+        forest,
+        fingerprint=meta.get("fingerprint"),
+        cache_size=cache_size,
+        max_pending=max_pending,
+    )

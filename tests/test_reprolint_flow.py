@@ -534,6 +534,8 @@ KERNEL_MODULES = [
     "src/repro/mbf/scalar.py",
     "src/repro/frt/forest.py",
     "src/repro/apps/batched.py",
+    "src/repro/io/artifacts.py",
+    "src/repro/serve/server.py",
 ]
 
 

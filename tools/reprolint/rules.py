@@ -791,6 +791,8 @@ class ShapeContractRule(Rule):
         "src/repro/mbf/scalar.py",
         "src/repro/frt/forest.py",
         "src/repro/apps/batched.py",
+        "src/repro/io/artifacts.py",
+        "src/repro/serve/server.py",
     })
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
