@@ -556,7 +556,9 @@ class Pipeline:
         return result.save(path)
 
     @staticmethod
-    def from_artifacts(path, *, mmap: bool = False) -> PipelineResult:
+    def from_artifacts(
+        path, *, mmap: bool = False
+    ) -> PipelineResult:  # shape: -> object view
         """Rehydrate a persisted ensemble — no graph, no rebuild.
 
         The loaded :class:`~repro.api.result.PipelineResult` carries the

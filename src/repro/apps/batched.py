@@ -70,10 +70,10 @@ def _subtree_weights(forest: FRTForest, leaf_weights: np.ndarray) -> np.ndarray:
 
 def hst_kmedian_dp_forest(
     forest: FRTForest,
-    leaf_weights: np.ndarray,  # shape: (n,) float64
+    leaf_weights: np.ndarray,  # shape: (n,) float64 frozen
     k: int,  # shape: scalar
     *,
-    allowed: np.ndarray | None = None,  # shape: (n,) bool
+    allowed: np.ndarray | None = None,  # shape: (n,) bool frozen
 ) -> tuple[np.ndarray, list[np.ndarray]]:
     """Optimal k-median on every tree of ``forest`` in one vectorized DP.
 
@@ -226,7 +226,7 @@ def _backtrack(
 def route_demands_on_forest(
     forest: FRTForest,
     demands,
-) -> np.ndarray:  # shape: -> (total_nodes,) float64
+) -> np.ndarray:  # shape: -> (total_nodes,) float64 owned
     """Aggregate per-tree-edge flows of all samples, ``(total_nodes,)``.
 
     The batched counterpart of
@@ -273,9 +273,9 @@ def route_demands_on_forest(
 
 
 def cable_costs_array(
-    flows: np.ndarray,  # shape: (m,) float64
+    flows: np.ndarray,  # shape: (m,) float64 frozen
     cables,
-) -> np.ndarray:  # shape: -> (m,) float64
+) -> np.ndarray:  # shape: -> (m,) float64 owned
     """Vectorized :func:`~repro.apps.buyatbulk.cable_cost` over a flow array.
 
     ``min_i c_i · ceil(f / u_i - 1e-12)`` per entry, ``0`` where ``f <= 0``
@@ -294,7 +294,7 @@ def cable_costs_array(
 
 def forest_tree_costs(
     forest: FRTForest,
-    flows: np.ndarray,  # shape: (total_nodes,) float64
+    flows: np.ndarray,  # shape: (total_nodes,) float64 frozen
     cables,
 ) -> np.ndarray:
     """Per-sample tree routing cost, ``(size,)``.

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.frt.tree import FRTTree
 from repro.mbf.dense import BatchedFlatStates, segmented_searchsorted
+from repro.util.freeze import freeze, freeze_enabled
 
 __all__ = ["FRTForest", "build_frt_forest"]
 
@@ -97,15 +98,18 @@ class FRTForest:
         """Total nodes across all samples."""
         return int(self.parent.size)
 
-    def tree(self, s: int) -> FRTTree:
+    def tree(self, s: int) -> FRTTree:  # shape: -> object view
         """Sample ``s`` as a :class:`~repro.frt.tree.FRTTree` view.
 
         Bit-identical — all structure arrays, node ids included — to the
         serial ``build_frt_tree(lists.sample_states(s), ranks[s],
         betas[s], wmin)``.  The tree's arrays are zero-copy *views* into
-        the forest's stacked storage (trees are read-only throughout the
-        repo; storing one copy keeps an ensemble's memory flat even when
-        every sample is materialized as a tree).
+        the forest's stacked storage, returned **read-only** (writing
+        through one tree would silently corrupt all ``size`` samples and
+        every server cache keyed on this forest's fingerprint; a write
+        raises ``ValueError`` instead).  Storing one copy keeps an
+        ensemble's memory flat even when every sample is materialized as
+        a tree; ``.copy()`` an array if a sample needs mutating.
         """
         if not 0 <= s < self.size:
             raise IndexError(f"sample index {s} out of range [0, {self.size})")
@@ -116,22 +120,24 @@ class FRTForest:
             k=k,
             beta=float(self.betas[s]),
             scale=self.scale,
-            radii=self.radii[s, : k + 1],
-            edge_weights=self.edge_weights[s, :k],
-            cum_weights=self.cum_weights[s, : k + 1],
-            level_ids=self.level_ids[s, :, : k + 1],
-            parent=self.parent[lo:hi],
-            node_level=self.node_level[lo:hi],
-            node_leading=self.node_leading[lo:hi],
+            radii=freeze(self.radii[s, : k + 1]),
+            edge_weights=freeze(self.edge_weights[s, :k]),
+            cum_weights=freeze(self.cum_weights[s, : k + 1]),
+            level_ids=freeze(self.level_ids[s, :, : k + 1]),
+            parent=freeze(self.parent[lo:hi]),
+            node_level=freeze(self.node_level[lo:hi]),
+            node_leading=freeze(self.node_leading[lo:hi]),
         )
 
-    def trees(self) -> list[FRTTree]:
+    def trees(self) -> list[FRTTree]:  # shape: -> object view
         """All samples as tree views (see :meth:`tree`)."""
         return [self.tree(s) for s in range(self.size)]
 
     # -- distances -------------------------------------------------------------
 
-    def lca_levels(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    def lca_levels(
+        self, us: np.ndarray, vs: np.ndarray
+    ) -> np.ndarray:  # shape: -> (s, p) int64 owned
         """Per-sample lowest common ancestor levels, ``(size, P)``.
 
         Padded levels replicate the root id, so the argmax over the full
@@ -152,7 +158,7 @@ class FRTForest:
             out[:, sl] = np.argmax(eq, axis=2)
         return out
 
-    def distances(self, us, vs) -> np.ndarray:
+    def distances(self, us, vs) -> np.ndarray:  # shape: -> (s, p) float64 owned
         """``(size, P)`` matrix of tree distances — every sample, one pass.
 
         Bit-identical to stacking ``self.tree(s).distances(us, vs)`` over
@@ -161,11 +167,15 @@ class FRTForest:
         lvl = self.lca_levels(us, vs)
         return 2.0 * np.take_along_axis(self.cum_weights, lvl, axis=1)
 
-    def distance_upper_bounds(self, us, vs) -> np.ndarray:
+    def distance_upper_bounds(
+        self, us, vs
+    ) -> np.ndarray:  # shape: -> (p,) float64 owned
         """Per-pair min over samples — dominating, tightening with size."""
         return self.distances(us, vs).min(axis=0)
 
-    def median_distances(self, us, vs) -> np.ndarray:
+    def median_distances(
+        self, us, vs
+    ) -> np.ndarray:  # shape: -> (p,) float64 owned
         """Per-pair median over samples — a robust, concentrated estimate."""
         return np.median(self.distances(us, vs), axis=0)
 
@@ -178,11 +188,11 @@ class FRTForest:
 
 
 def build_frt_forest(
-    le_lists: BatchedFlatStates,  # shape: csr(k*n)
-    ranks: np.ndarray,  # shape: (k, n) int64
-    betas: np.ndarray,  # shape: (k,) float64
+    le_lists: BatchedFlatStates,  # shape: csr(k*n) frozen
+    ranks: np.ndarray,  # shape: (k, n) int64 frozen
+    betas: np.ndarray,  # shape: (k,) float64 frozen
     wmin: float,  # shape: scalar
-) -> FRTForest:
+) -> FRTForest:  # shape: -> object owned
     """Construct all ``k`` FRT trees of an ensemble in one vectorized pass.
 
     Parameters
@@ -281,6 +291,15 @@ def build_frt_forest(
     cum_weights = np.concatenate(
         [np.zeros((k, 1)), np.cumsum(edge_weights, axis=1)], axis=1
     )
+    if freeze_enabled():
+        # REPRO_FREEZE sanitizer: the stacked storage is shared by every
+        # tree view and server cache — freeze it so any later in-place
+        # write hard-fails.  betas may alias the caller's array (asarray
+        # above), so it is the one field copied before freezing.
+        betas = freeze(betas.copy())
+        for arr in (depths, radii, edge_weights, cum_weights, level_ids,
+                    node_offsets, parent, node_level, node_leading):
+            freeze(arr)
     return FRTForest(
         n=n,
         size=k,

@@ -19,9 +19,16 @@ under our control:
 Because members are stored uncompressed, ``mmap=True`` loads map each
 array's payload bytes straight out of the file
 (:func:`numpy.memmap` at the member's data offset) — *zero copies* of the
-stacked CSR arrays, pinned by a tracemalloc test.  Memmapped arrays are
-read-only, which matches the repo-wide convention that forests and trees
-are never mutated after construction.
+stacked CSR arrays, pinned by a tracemalloc test.
+
+**Loaded arrays are read-only in both modes.**  Memmapped members are
+read-only by construction (``mode="r"``); in-memory loads are frozen
+(``writeable=False`` via :func:`repro.util.freeze.freeze`) after
+validation, so ``mmap=True`` and ``mmap=False`` expose *identical*
+mutation semantics — a write through any loaded array raises
+``ValueError`` either way, matching the repo-wide convention that
+forests and trees are never mutated after construction.  ``.copy()`` an
+array if a caller genuinely needs a private writable buffer.
 
 **Schema discipline.**  ``meta.json`` carries ``schema``/``schema_version``;
 loads reject unknown schemas, future versions, missing members, and any
@@ -43,6 +50,7 @@ import numpy as np
 from repro.frt.forest import FRTForest
 from repro.mbf.dense import BatchedFlatStates
 from repro.metric.approx_metric import MetricResult
+from repro.util.freeze import freeze
 
 __all__ = [
     "ARTIFACT_KINDS",
@@ -227,7 +235,7 @@ def _memmap_member(path: Path, zf: zipfile.ZipFile, member: str) -> np.ndarray:
             raise ArtifactError(f"{path}: {member} is Fortran-ordered; artifacts are C-ordered")
         offset = fh.tell()
     if int(np.prod(shape)) == 0:
-        return np.empty(shape, dtype=dtype)
+        return freeze(np.empty(shape, dtype=dtype))
     return np.memmap(path, mode="r", dtype=dtype, shape=shape, offset=offset)
 
 
@@ -260,7 +268,9 @@ def _read_arrays(path, zf: zipfile.ZipFile, meta: dict, mmap: bool) -> dict:
                 f"{path}: array {name!r} has shape {list(arr.shape)}, "
                 f"manifest declares {spec.get('shape')}"
             )
-        arrays[name] = arr
+        # Both load modes hand out read-only arrays: memmaps are mode="r"
+        # already; in-memory arrays are frozen here, after validation.
+        arrays[name] = freeze(arr)
     return arrays
 
 
@@ -376,7 +386,7 @@ def load_forest(
     path,  # shape: scalar
     *,
     mmap: bool = False,  # shape: scalar
-) -> FRTForest:
+) -> FRTForest:  # shape: -> object view
     """Load a forest artifact (kind ``"forest"`` or ``"result"``).
 
     ``mmap=True`` maps the stacked arrays read-only straight out of the
@@ -384,6 +394,9 @@ def load_forest(
     tracemalloc test), so cold-starting a server over a multi-GB ensemble
     costs file-open time, not array-read time.  Every load validates the
     schema version and each array's dtype/shape against the manifest.
+    The loaded arrays are read-only in *both* modes (in-memory loads are
+    frozen after validation), so a write through the forest raises
+    ``ValueError`` instead of depending on how the artifact was opened.
     """
     zf, meta = _open_artifact(path)
     try:
@@ -474,7 +487,7 @@ def load_result(
     path,  # shape: scalar
     *,
     mmap: bool = False,  # shape: scalar
-):
+):  # shape: -> object view
     """Rebuild a :class:`~repro.api.result.PipelineResult` from an artifact.
 
     The inverse of :func:`save_result`: embeddings are reassembled as
@@ -483,6 +496,8 @@ def load_result(
     work/depth totals.  ``mmap=True`` maps the forest and LE-list CSR
     arrays read-only from the file; the per-sample LE-list extraction
     copies its slices (they are small), the forest arrays stay mapped.
+    In-memory loads freeze the same arrays after validation, so both
+    modes reject in-place writes identically.
     """
     # Local imports: repro.api imports this module's savers via the facade.
     from repro.api.result import PipelineResult
@@ -592,8 +607,9 @@ def load_metric(
     path,  # shape: scalar
     *,
     mmap: bool = False,  # shape: scalar
-) -> MetricResult:
-    """Load a metric artifact; ``mmap=True`` maps the matrix read-only."""
+) -> MetricResult:  # shape: -> object view
+    """Load a metric artifact — the matrix is read-only in both modes
+    (memmapped at ``mmap=True``, frozen after validation otherwise)."""
     zf, meta = _open_artifact(path)
     try:
         if meta["kind"] != "metric":

@@ -84,9 +84,9 @@ __all__ = [
 
 
 def segmented_searchsorted(
-    offsets: np.ndarray,  # shape: (s+1,) int64
-    values: np.ndarray,  # shape: (total,) float64
-    queries: np.ndarray,  # shape: (s, q) float64
+    offsets: np.ndarray,  # shape: (s+1,) int64 frozen
+    values: np.ndarray,  # shape: (total,) float64 frozen
+    queries: np.ndarray,  # shape: (s, q) float64 frozen
     side: str = "right",  # shape: scalar
 ) -> np.ndarray:  # shape: -> (s, q) int64
     """Per-segment :func:`numpy.searchsorted` over a CSR array, in one call.
@@ -513,7 +513,7 @@ class TopKFilter(FilterSpec):
 
 def check_rank(
     n: int,  # shape: scalar
-    rank: np.ndarray,  # shape: (n,) int64
+    rank: np.ndarray,  # shape: (n,) int64 frozen
 ) -> np.ndarray:  # shape: -> (n,) int64
     """Validate an LE random order: an int64 permutation of ``0..n-1``.
 
@@ -617,10 +617,10 @@ def _as_ledgers(ledger: CostLedger) -> list[CostLedger] | None:
 
 
 def propagate(
-    states: FlatStates,  # shape: csr(n)
-    src: np.ndarray,  # shape: (E,) int64
-    dst: np.ndarray,  # shape: (E,) int64
-    w: np.ndarray,  # shape: (E,) float64
+    states: FlatStates,  # shape: csr(n) frozen
+    src: np.ndarray,  # shape: (E,) int64 frozen
+    dst: np.ndarray,  # shape: (E,) int64 frozen
+    w: np.ndarray,  # shape: (E,) float64 frozen
     *,
     include_self: bool = True,  # shape: scalar
     ledger: CostLedger = NULL_LEDGER,
@@ -654,9 +654,9 @@ def propagate(
 
 def aggregate(
     n: int,  # shape: scalar
-    tgt: np.ndarray,  # shape: (m,) int64
-    ids: np.ndarray,  # shape: (m,) int64
-    dists: np.ndarray,  # shape: (m,) float64
+    tgt: np.ndarray,  # shape: (m,) int64 frozen
+    ids: np.ndarray,  # shape: (m,) int64 frozen
+    dists: np.ndarray,  # shape: (m,) float64 frozen
     spec: FilterSpec,
     *,
     ledger: CostLedger = NULL_LEDGER,
@@ -677,7 +677,7 @@ def aggregate(
 
 def dense_iteration(
     G: Graph,
-    states: FlatStates,  # shape: csr(n)
+    states: FlatStates,  # shape: csr(n) frozen
     spec: FilterSpec,
     *,
     weight_scale: float = 1.0,
@@ -800,10 +800,10 @@ def _charge_sample_iteration(
 
 
 def propagate_batched(
-    states: BatchedFlatStates,  # shape: csr(k*n)
-    src: np.ndarray,  # shape: (E,) int64
-    dst: np.ndarray,  # shape: (E,) int64
-    w: np.ndarray,  # shape: (E,) float64
+    states: BatchedFlatStates,  # shape: csr(k*n) frozen
+    src: np.ndarray,  # shape: (E,) int64 frozen
+    dst: np.ndarray,  # shape: (E,) int64 frozen
+    w: np.ndarray,  # shape: (E,) float64 frozen
     *,
     include_self: bool = True,  # shape: scalar
     ledgers: Sequence[CostLedger] | None = None,
@@ -828,9 +828,9 @@ def propagate_batched(
 def aggregate_batched(
     k: int,  # shape: scalar
     n: int,  # shape: scalar
-    vtgt: np.ndarray,  # shape: (m,) int64
-    ids: np.ndarray,  # shape: (m,) int64
-    dists: np.ndarray,  # shape: (m,) float64
+    vtgt: np.ndarray,  # shape: (m,) int64 frozen
+    ids: np.ndarray,  # shape: (m,) int64 frozen
+    dists: np.ndarray,  # shape: (m,) float64 frozen
     spec: FilterSpec,
     *,
     ledgers: Sequence[CostLedger] | None = None,
@@ -1033,7 +1033,7 @@ def _generic_iteration_batched(
 
 def dense_iteration_batched_ex(
     G: Graph,
-    states: BatchedFlatStates,  # shape: csr(k*n)
+    states: BatchedFlatStates,  # shape: csr(k*n) frozen
     spec: FilterSpec,
     *,
     weight_scale: float = 1.0,
@@ -1058,7 +1058,7 @@ def dense_iteration_batched_ex(
 
 def dense_iteration_batched(
     G: Graph,
-    states: BatchedFlatStates,  # shape: csr(k*n)
+    states: BatchedFlatStates,  # shape: csr(k*n) frozen
     spec: FilterSpec,
     *,
     weight_scale: float = 1.0,
@@ -1079,8 +1079,8 @@ def dense_iteration_batched(
 
 
 def take_active_samples(
-    keep: np.ndarray,  # shape: (k,) bool
-    states: BatchedFlatStates,  # shape: csr(k*n)
+    keep: np.ndarray,  # shape: (k,) bool frozen
+    states: BatchedFlatStates,  # shape: csr(k*n) frozen
     spec: FilterSpec,
     ledgers: Sequence[CostLedger] | None,
 ) -> tuple[BatchedFlatStates, FilterSpec, list[CostLedger] | None]:
@@ -1100,7 +1100,7 @@ def take_active_samples(
 
 def run_batched_fixpoint(
     step,
-    states: BatchedFlatStates,  # shape: csr(k*n)
+    states: BatchedFlatStates,  # shape: csr(k*n) frozen
     spec: FilterSpec,
     ledgers: Sequence[CostLedger] | None,
     cap: int,  # shape: scalar

@@ -63,16 +63,16 @@ def _edge_groups(
 
 
 def scalar_iteration(
-    X: np.ndarray,  # shape: (n, c) float64
+    X: np.ndarray,  # shape: (n, c) float64 frozen
     semiring: str,  # shape: scalar
-    src: np.ndarray,  # shape: (E,) int64
-    w: np.ndarray,  # shape: (E,) float64
-    starts: np.ndarray,  # shape: (t,) int64
-    targets: np.ndarray,  # shape: (t,) int64
+    src: np.ndarray,  # shape: (E,) int64 frozen
+    w: np.ndarray,  # shape: (E,) float64 frozen
+    starts: np.ndarray,  # shape: (t,) int64 frozen
+    targets: np.ndarray,  # shape: (t,) int64 frozen
     *,
     dmax: float = INF,  # shape: scalar
     ledger: CostLedger = NULL_LEDGER,
-) -> np.ndarray:  # shape: -> (n, c) float64
+) -> np.ndarray:  # shape: -> (n, c) float64 owned
     """One filtered scalar iteration ``r^V A x`` on pre-grouped edges.
 
     ``X`` is the ``(n, c)`` state matrix; ``src``/``w``/``starts``/``targets``
@@ -104,7 +104,7 @@ def scalar_iteration(
 
 def run_scalar(
     G: Graph,
-    init: np.ndarray,  # shape: (n, c) float64
+    init: np.ndarray,  # shape: (n, c) float64 frozen
     *,
     semiring: str = "min-plus",
     dmax: float = INF,

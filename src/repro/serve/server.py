@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.apps.batched import hst_kmedian_dp_forest
 from repro.frt.forest import FRTForest
+from repro.util.freeze import freeze, freeze_enabled
 
 __all__ = [
     "ForestServer",
@@ -59,8 +60,8 @@ _PCTS = (50, 90, 99)
 
 
 def unique_pairs(
-    us: np.ndarray,  # shape: (p,) int64
-    vs: np.ndarray,  # shape: (p,) int64
+    us: np.ndarray,  # shape: (p,) int64 frozen
+    vs: np.ndarray,  # shape: (p,) int64 frozen
     n: int,  # shape: scalar
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Dedup query pairs on the composite key ``us * n + vs``.
@@ -338,6 +339,13 @@ class ForestServer:
     def _cache_put(self, cache: OrderedDict, key, value) -> None:
         if self.cache_size == 0:
             return
+        if freeze_enabled():
+            # REPRO_FREEZE sanitizer: cached values are the server's
+            # long-lived truth — freeze them (arrays, and arrays inside
+            # the kmedian (costs, facilities) tuples) so any in-place
+            # write through a retained alias raises instead of poisoning
+            # every future hit.  Public answers stay writable copies.
+            value = freeze(value)
         cache[key] = value
         cache.move_to_end(key)
         while len(cache) > self.cache_size:

@@ -1,5 +1,6 @@
 """Small shared utilities: RNG handling, validation, array helpers."""
 
+from repro.util.freeze import freeze, freeze_enabled
 from repro.util.pairs import all_pairs, sample_distinct, unrank_pairs
 from repro.util.rng import as_rng, spawn_rngs, split_seed
 from repro.util.validation import (
@@ -11,6 +12,8 @@ from repro.util.validation import (
 
 __all__ = [
     "as_rng",
+    "freeze",
+    "freeze_enabled",
     "spawn_rngs",
     "split_seed",
     "all_pairs",

@@ -1,0 +1,62 @@
+"""Runtime writeability sanitizer — make shared arrays refuse writes.
+
+The repo's parity claims (serial vs batched vs artifact-loaded, bit-identical)
+rest on arrays that are *shared without being copied*:
+:meth:`~repro.frt.forest.FRTForest.tree` hands out zero-copy views into the
+stacked ensemble storage, :func:`~repro.io.artifacts.load_result` rehydrates
+embeddings as those same views, and the serving LRU holds arrays whose silent
+mutation would corrupt every future answer.  :func:`freeze` turns "never
+mutated by convention" into "cannot be mutated": it clears NumPy's
+``writeable`` flag in place (no copy), so any write through the alias raises
+``ValueError`` instead of corrupting shared state.
+
+Two tiers of enforcement:
+
+- **Always on** — borrowed views and loaded artifacts are frozen
+  unconditionally (``FRTForest.tree(s)`` views, in-memory artifact loads),
+  matching the read-only semantics ``np.memmap(mode="r")`` already gives the
+  mmap path.
+- **Opt-in** (:func:`freeze_enabled`, ``REPRO_FREEZE=1``) — internal shared
+  storage that hot paths still own (the stacked forest arrays at
+  construction, values entering the serve caches) is additionally frozen, so
+  any mutation the static analysis (``tools/reprolint`` ownership rules)
+  cannot prove hard-fails in tests.  CI's tier-1 run enables this mode.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["freeze", "freeze_enabled"]
+
+
+def freeze_enabled() -> bool:  # shape: -> scalar
+    """Whether the opt-in ``REPRO_FREEZE=1`` sanitizer mode is active.
+
+    Read at each call site (not import time), so tests can toggle the
+    environment variable per test.
+    """
+    return os.environ.get("REPRO_FREEZE", "") == "1"
+
+
+def freeze(value):
+    """Mark ``value`` read-only in place and return it — never a copy.
+
+    ``ndarray`` inputs get ``flags.writeable = False`` (a no-op on arrays
+    that are already read-only, e.g. ``np.memmap(mode="r")`` members or
+    views of frozen bases).  Tuples and lists are frozen element-wise — the
+    container shape the serve cache stores (``(costs, facilities)``) —
+    and every other value passes through untouched, so scalar cache
+    entries need no special-casing at call sites.
+
+    Freezing a *view* freezes only that view object; the base array keeps
+    its own flag.  Recover a writable array with ``value.copy()``.
+    """
+    if isinstance(value, np.ndarray):
+        value.flags.writeable = False
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            freeze(item)
+    return value

@@ -1,0 +1,14 @@
+"""Seeded violations: unowned values crossing a cache boundary."""
+
+__all__ = ["Memo"]
+
+
+class Memo:
+    def __init__(self):
+        self._cache = {}
+
+    def put(self, key, row):
+        self._cache[key] = row
+
+    def hit(self, key):
+        return self._cache.get(key)

@@ -1,0 +1,15 @@
+"""Clean twin: the cache owns copies; hits leave as copies."""
+
+__all__ = ["Memo"]
+
+
+class Memo:
+    def __init__(self):
+        self._cache = {}
+
+    def put(self, key, row):
+        self._cache[key] = row.copy()
+
+    def hit(self, key):
+        row = self._cache.get(key)
+        return None if row is None else row.copy()

@@ -1,0 +1,11 @@
+"""Seeded violation: internal storage escapes with no view contract."""
+
+__all__ = ["Rolling"]
+
+
+class Rolling:
+    def __init__(self, history):
+        self.history = history
+
+    def window(self, k):
+        return self.history[-k:]

@@ -1,0 +1,11 @@
+"""Clean twin: the escaping window is declared a view."""
+
+__all__ = ["Rolling"]
+
+
+class Rolling:
+    def __init__(self, history):
+        self.history = history
+
+    def window(self, k):  # shape: -> (k,) float64 view
+        return self.history[-k:]

@@ -1,0 +1,10 @@
+"""Seeded violation: writing a parameter contracted frozen."""
+
+__all__ = ["renormalize"]
+
+
+def renormalize(
+    weights,  # shape: (n,) float64 frozen
+):
+    weights /= weights.sum()
+    return weights

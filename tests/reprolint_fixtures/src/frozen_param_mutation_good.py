@@ -1,0 +1,11 @@
+"""Clean twin: frozen parameters are read; the copy is mutated."""
+
+__all__ = ["renormalize"]
+
+
+def renormalize(
+    weights,  # shape: (n,) float64 frozen
+):
+    out = weights.copy()
+    out /= out.sum()
+    return out

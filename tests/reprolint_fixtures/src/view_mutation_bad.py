@@ -1,0 +1,14 @@
+"""Seeded violations: in-place writes through borrowed storage."""
+
+__all__ = ["scale_tree", "zero_tail"]
+
+
+def zero_tail(values):
+    tail = values[1:]
+    tail[0] = 0.0
+    return tail
+
+
+def scale_tree(forest):
+    t = forest.tree(0)
+    t.radii.sort()

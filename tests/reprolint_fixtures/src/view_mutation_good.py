@@ -1,0 +1,15 @@
+"""Clean twin: copies are mutated; views are only read."""
+
+__all__ = ["scale_tree", "zero_tail"]
+
+
+def zero_tail(values):
+    tail = values[1:].copy()
+    tail[0] = 0.0
+    return tail
+
+
+def scale_tree(forest):
+    radii = forest.tree(0).radii.copy()
+    radii.sort()
+    return radii

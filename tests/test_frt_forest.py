@@ -161,6 +161,42 @@ class TestForestStructure:
         )
         assert np.array_equal(self.forest.distances(iu, ju), stacked)
 
+    def test_tree_views_are_read_only(self):
+        """Regression: zero-copy views refuse writes (always, not only
+        under REPRO_FREEZE) — an in-place write through a view would
+        corrupt every other view of the stacked storage."""
+        t = self.forest.tree(0)
+        for name in ("radii", "edge_weights", "cum_weights", "level_ids",
+                     "parent", "node_level", "node_leading"):
+            assert not getattr(t, name).flags.writeable, name
+        with pytest.raises(ValueError):
+            t.radii[0] = -1.0
+        # Outside freeze mode the stacked storage itself stays writable;
+        # a mutable private buffer is always one explicit copy away.
+        from repro.util.freeze import freeze_enabled
+
+        assert self.forest.radii.flags.writeable == (not freeze_enabled())
+        assert t.radii.copy().flags.writeable
+
+    def test_freeze_mode_freezes_stacked_storage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FREEZE", "1")
+        frozen = build_frt_forest(self.lists, self.ranks, self.betas, self.wmin)
+        for name in ("betas", "depths", "radii", "edge_weights",
+                     "cum_weights", "level_ids", "node_offsets", "parent",
+                     "node_level", "node_leading"):
+            assert not getattr(frozen, name).flags.writeable, name
+        with pytest.raises(ValueError):
+            frozen.radii[0, 0] = -1.0
+        # Queries still answer, bit-identical to the unfrozen build.
+        us = np.arange(self.g.n - 1)
+        vs = us + 1
+        assert np.array_equal(
+            frozen.distances(us, vs), self.forest.distances(us, vs)
+        )
+        # The caller's betas array is copied before freezing, not frozen
+        # in place.
+        assert self.betas.flags.writeable
+
     def test_tree_index_validation(self):
         with pytest.raises(IndexError):
             self.forest.tree(self.forest.size)

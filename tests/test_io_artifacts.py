@@ -156,13 +156,22 @@ def test_memmap_load_does_not_copy_csr_arrays(tmp_path):
     assert np.array_equal(loaded.level_ids, forest.level_ids)
 
 
-def test_in_memory_load_is_writable_copy(tmp_path):
+def test_in_memory_load_is_read_only_like_mmap(tmp_path):
+    """mmap=False and mmap=True expose identical mutation semantics."""
     forest = _result(32, 3).forest
     path = tmp_path / "f.rpz"
     save_forest(path, forest)
     loaded = load_forest(path)
     assert not isinstance(loaded.level_ids, np.memmap)
-    assert loaded.level_ids.flags.writeable
+    for name in ("betas", "depths", "radii", "edge_weights", "cum_weights",
+                 "level_ids", "node_offsets", "parent", "node_level",
+                 "node_leading"):
+        arr = getattr(loaded, name)
+        assert not arr.flags.writeable, f"{name} is writable after load"
+    with pytest.raises(ValueError):
+        loaded.level_ids[0, 0, 0] = -1
+    # A private writable buffer is one explicit copy away.
+    assert loaded.radii.copy().flags.writeable
 
 
 # -- result round trips --------------------------------------------------------
@@ -195,6 +204,25 @@ def test_result_round_trip(tmp_path, mmap):
         result.ensemble().median_distances(us, vs),
         loaded.ensemble().median_distances(us, vs),
     )
+
+
+def test_from_artifacts_round_trip_is_read_only(tmp_path, monkeypatch):
+    """A rehydrated result exposes only read-only storage, in freeze mode
+    and out of it — loads are frozen unconditionally."""
+    monkeypatch.setenv("REPRO_FREEZE", "1")
+    pipe = _pipeline(24)
+    path = tmp_path / "ens.rpz"
+    pipe.save_artifacts(path, 3, seed=5)
+    loaded = Pipeline.from_artifacts(path)
+    assert not loaded.forest.level_ids.flags.writeable
+    with pytest.raises(ValueError):
+        loaded.forest.level_ids[0, 0, 0] = -1
+    tree = loaded.forest.tree(0)
+    with pytest.raises(ValueError):
+        tree.radii[0] = -1.0
+    # Frozen storage still answers queries normally.
+    us, vs = _query_pairs(24, seed=2)
+    assert loaded.forest.distances(us, vs).shape == (3, us.size)
 
 
 def test_result_save_requires_batched_mode(tmp_path):

@@ -27,6 +27,10 @@ from tools.reprolint.dataflow import (
     scope_nodes,
 )
 from tools.reprolint.engine import LintContext
+from tools.reprolint.ownership import (
+    FunctionOwnership,
+    mutated_param_summaries,
+)
 from tools.reprolint.shapes import (
     UNKNOWN,
     extract_contracts,
@@ -527,6 +531,145 @@ def test_without_project_the_call_site_checks_stay_silent(synth_project):
     assert findings == []
 
 
+# -- shapes: ownership qualifiers ----------------------------------------------
+
+
+def test_parse_contract_ownership_qualifiers():
+    c, err = parse_contract("(n,) float64 frozen", 1, "comment")
+    assert err is None and c.ownership == "frozen" and c.dtype == "float64"
+    c, err = parse_contract("(n,) frozen", 1, "comment")
+    assert err is None and c.ownership == "frozen" and c.dtype is None
+    c, err = parse_contract("-> object view", 1, "comment")
+    assert err is None and c.kind == "object" and c.ownership == "view"
+    c, err = parse_contract("csr(k*n) frozen", 1, "comment")
+    assert err is None and c.kind == "csr" and c.ownership == "frozen"
+    c, err = parse_contract("scalar owned", 1, "comment")
+    assert err is None and c.kind == "scalar" and c.ownership == "owned"
+
+
+def test_parse_contract_qualifier_is_not_a_dtype():
+    c, err = parse_contract("(n,) viewer", 1, "comment")
+    assert c is None and "unknown dtype" in err
+    c, err = parse_contract("(n,)", 1, "comment")
+    assert err is None and c.ownership is None and c.dtype is None
+
+
+# -- ownership: local mutation/escape/view analysis ----------------------------
+
+
+def _ownership(src: str) -> FunctionOwnership:
+    flow, fn = _fn_flow(src)
+    return FunctionOwnership(flow, fn)
+
+
+def test_mutation_sites_resolve_aliases_to_parameter_roots():
+    own = _ownership("""
+        def f(a, b, out):
+            c = a
+            c[0] = 1.0
+            b += c
+            np.add(a, c, out=out)
+    """)
+    assert set(own.mutated_params()) == {"a", "b", "out"}
+
+
+def test_mutation_sites_ignore_fresh_local_storage():
+    own = _ownership("""
+        def f(a):
+            buf = a.copy()
+            buf[0] = 1.0
+            buf.sort()
+            return buf
+    """)
+    assert own.mutated_params() == {}
+
+
+def test_view_kind_classifies_borrowed_storage():
+    src = """
+        def f(forest, path):
+            t = forest.tree(0)
+            r = t.radii[1:]
+            m = np.memmap(path, dtype="f8")
+            hit = self._cache.get("k")
+            return r
+    """
+    own = _ownership(src)
+    import ast as _ast
+    kinds = {}
+    for node in _ast.walk(own.scope):
+        if isinstance(node, _ast.Assign) and isinstance(node.targets[0], _ast.Name):
+            vk = own.view_kind(node.value, at=node)
+            kinds[node.targets[0].id] = vk[0] if vk else None
+    assert kinds == {"t": "tree", "r": "slice", "m": "memmap", "hit": "cache"}
+
+
+def test_escape_sites_cover_returns_self_stores_and_cache_puts():
+    own = _ownership("""
+        def f(self, x):
+            self.keep = x
+            self._cache["k"] = x
+            return x
+    """)
+    assert sorted(e.kind for e in own.escapes) == [
+        "cache-store", "return", "self-store",
+    ]
+
+
+# -- ownership: interprocedural propagation ------------------------------------
+
+_DEEP = '''\
+"""Mutation three calls deep behind a frozen contract."""
+
+__all__ = ["entry"]
+
+
+def entry(
+    xs,  # shape: (n,) float64 frozen
+):
+    return _middle(xs)
+
+
+def _middle(ys):
+    return _leaf(ys)
+
+
+def _leaf(zs):
+    zs[0] = 0.0
+    return zs
+'''
+
+
+@pytest.fixture()
+def deep_project(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text('"""Pkg."""\n\n__all__ = []\n')
+    (pkg / "deep.py").write_text(_DEEP)
+    project = Project.discover(tmp_path)
+    assert project is not None
+    return tmp_path, project
+
+
+def test_mutation_summaries_propagate_to_a_fixpoint(deep_project):
+    _, project = deep_project
+    s = mutated_param_summaries(project)
+    assert "zs" in s["repro.deep._leaf"]
+    assert "ys" in s["repro.deep._middle"]
+    assert "xs" in s["repro.deep.entry"]
+    assert "_leaf" in s["repro.deep._middle"]["ys"]
+
+
+def test_frozen_contract_flags_mutation_three_calls_deep(deep_project):
+    root, project = deep_project
+    findings, _ = analyze_file(
+        root / "src" / "repro" / "deep.py", root=root, project=project
+    )
+    frozen = [f for f in findings if f.rule == "frozen-param-mutation"]
+    assert len(frozen) == 1
+    assert frozen[0].line == 9  # the _middle(xs) call inside entry()
+    assert "_middle" in frozen[0].message and "frozen" in frozen[0].message
+
+
 # -- acceptance: contract coverage of the real kernel modules ------------------
 
 KERNEL_MODULES = [
@@ -559,3 +702,21 @@ def test_every_public_kernel_declares_a_validated_contract(rel):
         problems.extend(cs.problems)
     assert missing == [], f"{rel}: kernels without contracts: {missing}"
     assert problems == [], f"{rel}: contract problems: {problems}"
+
+
+@pytest.mark.parametrize("rel", KERNEL_MODULES)
+def test_kernel_modules_declare_ownership_qualifiers(rel):
+    """PR-9 acceptance: every kernel module carries ownership qualifiers."""
+    path = REPO_ROOT / rel
+    source = path.read_text(encoding="utf-8-sig")
+    tree = ast.parse(source)
+    ctx = LintContext(rel, source, tree)
+    quals = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        cs = extract_contracts(ctx, fn)
+        quals += [c.ownership for c in cs.params.values() if c.ownership]
+        if cs.returns is not None and cs.returns.ownership:
+            quals.append(cs.returns.ownership)
+    assert quals, f"{rel}: no ownership qualifiers declared"

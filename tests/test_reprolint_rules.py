@@ -40,6 +40,11 @@ EXPECTED_BAD_LINES = {
     "shape-contract": [9, 14, 21, 29],
     "dtype-discipline": [9, 14, 18],
     "rng-stream-flow": [9, 13, 19],
+    # PR 9 ownership rules (interprocedural mutation/escape analysis).
+    "view-mutation": [8, 14],
+    "frozen-param-mutation": [9],
+    "cache-aliasing": [11, 14],
+    "escape-undeclared": [11],
 }
 
 RULE_NAMES = sorted(EXPECTED_BAD_LINES)
@@ -71,6 +76,19 @@ def test_rule_fires_on_bad_fixture(rule):
 def test_clean_twin_is_fully_clean(rule):
     fname = rule.replace("-", "_") + "_good.py"
     assert _analyze(fname) == []
+
+
+def test_view_mutation_catches_aliased_writes_prior_rules_miss():
+    """Acceptance: the seeded writes evade every PR 6/PR 7 rule.
+
+    ``view_mutation_bad.py`` reaches borrowed storage only through
+    aliases (``tail = values[1:]``, ``t = forest.tree(0)``), so none of
+    the syntactic or shape/dtype rules have anything to say — only the
+    ownership analysis connects the write line to the borrow.
+    """
+    findings = _analyze("view_mutation_bad.py")
+    assert {f.rule for f in findings} == {"view-mutation"}
+    assert [f.line for f in findings] == EXPECTED_BAD_LINES["view-mutation"]
 
 
 def test_flow_rule_catches_aliases_the_syntactic_rule_misses():

@@ -301,3 +301,44 @@ def test_facade_end_to_end_offline_build_online_serve(tmp_path):
         server.distance_upper_bounds(us, vs),
         reference.ensemble().distance_upper_bounds(us, vs),
     )
+
+
+# -- REPRO_FREEZE sanitizer ----------------------------------------------------
+
+
+def test_freeze_mode_makes_cached_columns_read_only(forest, monkeypatch):
+    """Under REPRO_FREEZE=1 every cached hit column refuses writes while
+    public answers stay writable copies."""
+    monkeypatch.setenv("REPRO_FREEZE", "1")
+    server = ForestServer(forest)
+    us, vs = _pairs(forest.n, 12, seed=5)
+    answer = server.distances(us, vs)
+    answer[0, 0] = -1.0  # the caller's copy is theirs to mutate
+    cached = next(iter(server._cache["distances"].values()))
+    assert not cached.flags.writeable
+    with pytest.raises(ValueError):
+        cached[0] = -1.0
+    # The poisoning the sanitizer guards against cannot happen: a repeat
+    # query (cache hits) still matches the direct forest answer.
+    assert np.array_equal(
+        server.distances(us, vs), forest.distances(us, vs)
+    )
+
+
+def test_freeze_mode_makes_kmedian_cache_tuples_read_only(forest, monkeypatch):
+    monkeypatch.setenv("REPRO_FREEZE", "1")
+    server = ForestServer(forest)
+    weights = np.ones(forest.n)
+    costs, facilities = server.kmedian(weights, 2)
+    costs[0] = -1.0  # returned arrays are writable copies
+    facilities[0][:] = 0
+    cached_costs, cached_facs = next(iter(server._cache["kmedian"].values()))
+    assert not cached_costs.flags.writeable
+    assert all(not f.flags.writeable for f in cached_facs)
+    with pytest.raises(ValueError):
+        cached_costs[0] = 0.0
+    # The hit path still hands out writable copies of the frozen truth.
+    costs2, facilities2 = server.kmedian(weights, 2)
+    assert np.array_equal(costs2, cached_costs)
+    assert costs2.flags.writeable
+    assert all(f.flags.writeable for f in facilities2)

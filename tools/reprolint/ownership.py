@@ -1,0 +1,548 @@
+"""Interprocedural ownership and mutation analysis (stdlib-only).
+
+The ownership layer of reprolint v3: on top of the per-function dataflow
+(:mod:`tools.reprolint.dataflow`, alias-aware value keys) and the project
+call graph (:mod:`tools.reprolint.callgraph`), classify per function
+
+- **mutation sites** — every in-place write reachable in the scope
+  (subscript/attribute stores, augmented assigns, mutating methods like
+  ``.sort()``/``.fill()``, ``out=`` keywords, ``ufunc.at``,
+  ``np.copyto``/``put``/``place``/``putmask``, ``setattr``), each resolved
+  through aliases to the *root* value it writes through;
+- **escape sites** — values leaving the function: returned, stored on
+  ``self``, or put into a cache container (name matches ``cache``/``lru``/
+  ``memo``, a ``.setdefault`` on one, or a ``*cache_put*`` call);
+- **view derivations** — whether an expression provably denotes *borrowed*
+  storage: slice subscripts, ``tree()``/``trees()`` calls (the repo's
+  zero-copy forest views), ``np.memmap`` loads, and cache gets, followed
+  through alias chains and view-preserving wrappers (``asarray``,
+  ``reshape``, ``ravel``, ``.T``, ...).
+
+:func:`mutated_param_summaries` propagates the local mutation sets through
+the project call graph to a fixpoint, so a mutation three calls deep still
+flags the public entry point whose caller passed a ``frozen`` or ``view``
+value.  Everything is conservative: only provable aliasing and provable
+view derivation produce claims; opaque values produce none.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from tools.reprolint.dataflow import FunctionDataflow, scope_nodes
+
+__all__ = [
+    "CACHE_NAME_RE",
+    "EscapeSite",
+    "FunctionOwnership",
+    "MutationSite",
+    "base_key",
+    "get_ownership",
+    "is_cache_expr",
+    "mutated_param_summaries",
+    "param_root",
+]
+
+#: ndarray / container methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset({
+    # ndarray
+    "sort", "fill", "put", "partition", "itemset", "resize", "byteswap",
+    # list / dict / set ("add" is excluded: it is this repo's pure
+    # semiring operation, and ndarrays have no .add method)
+    "append", "extend", "insert", "remove", "clear", "update",
+    "discard", "popitem", "move_to_end",
+})
+
+#: np-namespace functions whose *first argument* is mutated in place.
+_NP_FIRST_ARG_MUTATORS = frozenset({"copyto", "put", "place", "putmask",
+                                    "fill_diagonal"})
+
+#: Methods returning zero-copy views by repo convention (FRTForest).
+VIEW_METHODS = frozenset({"tree", "trees"})
+
+#: Calls that *break* aliasing: their result owns fresh storage.
+_OWNING_CALLS = frozenset({"copy", "deepcopy", "array", "tolist", "list",
+                           "float", "int", "stack", "concatenate"})
+
+#: np-namespace / method wrappers that may preserve aliasing (a view in,
+#: a view out) — view-ness propagates through them.
+_VIEW_PRESERVING = frozenset({
+    "asarray", "atleast_1d", "atleast_2d", "ravel", "reshape", "squeeze",
+    "broadcast_to", "transpose", "ascontiguousarray", "view",
+})
+
+#: Container names treated as caches (LRU / lazy memo state).
+CACHE_NAME_RE = re.compile(r"(^|_)(cache|caches|lru|memo|memos)($|_)")
+
+_CACHE_PUT_RE = re.compile(r"cache_put")
+_CACHE_GET_RE = re.compile(r"cache_get")
+
+_PARAM_ROOT_RE = re.compile(r"^param:([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One in-place write inside a scope.
+
+    ``base`` is the expression written *through* (the receiver);
+    ``root`` is its resolved value key (``None`` when opaque); ``param``
+    is the parameter name when the root is (an alias/derivation of) a
+    parameter.
+    """
+
+    node: ast.AST  # the statement / call to report
+    base: ast.expr  # the object expression being written through
+    root: str | None
+    param: str | None
+    kind: str  # "store" | "augassign" | "method" | "out=" | "ufunc.at" | ...
+    detail: str  # human-readable description of the write
+
+
+@dataclass(frozen=True)
+class EscapeSite:
+    """One value leaving a scope (return / self-store / cache-store)."""
+
+    node: ast.AST
+    value: ast.expr
+    kind: str  # "return" | "self-store" | "cache-store"
+
+
+class FunctionOwnership:
+    """Mutation + escape classification of one function scope."""
+
+    def __init__(self, flow: FunctionDataflow, scope: ast.AST):
+        self.flow = flow
+        self.scope = scope
+        self.params = _param_names(scope)
+        self.mutations: list[MutationSite] = list(
+            _mutation_sites(flow, scope, self.params)
+        )
+        self.escapes: list[EscapeSite] = list(_escape_sites(flow, scope))
+
+    def mutated_params(self) -> dict[str, MutationSite]:
+        """Parameter name → first local mutation site writing through it."""
+        out: dict[str, MutationSite] = {}
+        for site in self.mutations:
+            if site.param is not None and site.param not in out:
+                out[site.param] = site
+        return out
+
+    def view_kind(
+        self, expr: ast.expr, *, at: ast.AST | None = None
+    ) -> tuple[str, str] | None:
+        """``(kind, detail)`` when ``expr`` is provably borrowed storage.
+
+        ``kind`` is ``"slice"``, ``"tree"``, ``"memmap"`` or ``"cache"``;
+        ``detail`` is a human-readable description.  ``None``: no claim.
+        """
+        return _view_reason(self.flow, expr, at if at is not None else expr,
+                            set(), 8)
+
+    def view_reason(self, expr: ast.expr, *, at: ast.AST | None = None) -> str | None:
+        """Why ``expr`` is borrowed storage (``None``: not provably a view)."""
+        vk = self.view_kind(expr, at=at)
+        return None if vk is None else vk[1]
+
+
+def get_ownership(ctx, scope: ast.AST) -> FunctionOwnership:
+    """Per-context cache: one :class:`FunctionOwnership` per scope node."""
+    from tools.reprolint.dataflow import get_dataflow
+
+    cache = getattr(ctx, "_ownerships", None)
+    if cache is None:
+        cache = {}
+        ctx._ownerships = cache
+    own = cache.get(id(scope))
+    if own is None:
+        own = FunctionOwnership(get_dataflow(ctx, scope), scope)
+        cache[id(scope)] = own
+    return own
+
+
+# -- base/root resolution ------------------------------------------------------
+
+
+def _param_names(scope: ast.AST) -> set[str]:
+    args = getattr(scope, "args", None)
+    if args is None:
+        return set()
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    for var in (args.vararg, args.kwarg):
+        if var is not None:
+            names.add(var.arg)
+    return names
+
+
+def _def_key_before(flow: FunctionDataflow, name: str, at: ast.AST):
+    """``(found, key)`` — the key the latest def before ``at`` bound."""
+    line = getattr(at, "lineno", None)
+    found, key = False, None
+    for node, k in flow.defs.get(name, []):
+        if node is at:
+            continue  # a mutating statement's own rebinding (AugAssign)
+        if line is None or getattr(node, "lineno", 0) <= line:
+            found, key = True, k
+    return found, key
+
+
+def base_key(
+    flow: FunctionDataflow,
+    params: set[str],
+    expr: ast.expr,
+    at: ast.AST,
+    depth: int = 8,
+) -> str | None:
+    """Value key of a mutation target's base at program point ``at``.
+
+    Store-context expressions are never keyed by the dataflow pass, so
+    this re-derives the key positionally: parameters keep ``param:<p>``
+    until rebound, assigned names take the key their latest def bound,
+    attribute/subscript chains extend the base key.
+    """
+    if depth <= 0:
+        return None
+    key = flow.key_of(expr)
+    if key is not None:
+        return key
+    if isinstance(expr, ast.Name):
+        found, key = _def_key_before(flow, expr.id, at)
+        if found:
+            return key
+        if expr.id in params:
+            return f"param:{expr.id}"
+        return f"name:{expr.id}"
+    if isinstance(expr, ast.Attribute):
+        base = base_key(flow, params, expr.value, at, depth - 1)
+        return None if base is None else f"{base}.{expr.attr}"
+    if isinstance(expr, ast.Subscript):
+        base = base_key(flow, params, expr.value, at, depth - 1)
+        return None if base is None else f"{base}[]"
+    return None
+
+
+def param_root(key: str | None) -> str | None:
+    """``'param:x[...]'`` → ``'x'`` — the parameter written through."""
+    m = _PARAM_ROOT_RE.match(key or "")
+    return m.group(1) if m else None
+
+
+# -- mutation sites ------------------------------------------------------------
+
+
+def _site(flow, params, node, base, kind, detail) -> MutationSite:
+    root = base_key(flow, params, base, node)
+    return MutationSite(node=node, base=base, root=root,
+                        param=param_root(root), kind=kind, detail=detail)
+
+
+def _np_namespace_func(flow: FunctionDataflow, call: ast.Call) -> str | None:
+    key = flow.key_of(call.func)
+    if key is None or not key.startswith("name:"):
+        return None
+    dotted = key.removeprefix("name:")
+    head, _, rest = dotted.partition(".")
+    if head in ("numpy", "np") and rest and "." not in rest:
+        return rest
+    return None
+
+
+def _mutation_sites(
+    flow: FunctionDataflow, scope: ast.AST, params: set[str]
+) -> Iterator[MutationSite]:
+    for node in scope_nodes(scope):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                if isinstance(t, ast.Subscript):
+                    yield _site(flow, params, node, t.value, "store",
+                                "subscript store")
+                elif isinstance(t, ast.Attribute):
+                    if t.attr == "writeable":
+                        continue  # flags.writeable: the sanitizer itself
+                    yield _site(flow, params, node, t.value, "store",
+                                f"attribute store to .{t.attr}")
+        elif isinstance(node, ast.AugAssign):
+            t = node.target
+            if isinstance(t, ast.Subscript):
+                yield _site(flow, params, node, t.value, "augassign",
+                            "augmented subscript assign")
+            elif isinstance(t, ast.Attribute):
+                yield _site(flow, params, node, t.value, "augassign",
+                            f"augmented assign to .{t.attr}")
+            elif isinstance(t, ast.Name):
+                # `x += y` is in-place for ndarrays: only claim a mutation
+                # when the name still aliases something (param / alias).
+                yield _site(flow, params, node, t, "augassign",
+                            "augmented assign (in-place for arrays)")
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                if isinstance(t, (ast.Subscript, ast.Attribute)):
+                    yield _site(flow, params, node, t.value, "store",
+                                "del on an element/attribute")
+        elif isinstance(node, ast.Call):
+            yield from _call_mutations(flow, params, node)
+
+
+def _call_mutations(
+    flow: FunctionDataflow, params: set[str], call: ast.Call
+) -> Iterator[MutationSite]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        receiver_key = flow.key_of(func.value) or ""
+        if (func.attr in MUTATING_METHODS
+                and not receiver_key.startswith(("name:numpy", "name:np"))):
+            # np.add(...) is a ufunc call, not set.add() on the module.
+            yield _site(flow, params, call, func.value, "method",
+                        f".{func.attr}() mutates its receiver")
+        elif func.attr == "at" and call.args:
+            # np.<ufunc>.at(x, idx, ...) — unbuffered in-place apply.
+            base = flow.key_of(func.value) or ""
+            if base.startswith(("name:numpy.", "name:np.")):
+                yield _site(flow, params, call, call.args[0], "ufunc.at",
+                            "ufunc.at writes its first argument in place")
+        elif func.attr == "setdefault" and len(call.args) >= 2:
+            yield _site(flow, params, call, func.value, "method",
+                        ".setdefault() may insert into its receiver")
+    elif isinstance(func, ast.Name) and func.id == "setattr" and call.args:
+        yield _site(flow, params, call, call.args[0], "store",
+                    "setattr() stores on its first argument")
+    np_name = _np_namespace_func(flow, call)
+    if np_name in _NP_FIRST_ARG_MUTATORS and call.args:
+        yield _site(flow, params, call, call.args[0], "np-inplace",
+                    f"np.{np_name}() writes its first argument in place")
+    out = next((kw.value for kw in call.keywords if kw.arg == "out"), None)
+    if out is not None and not (isinstance(out, ast.Constant)
+                                and out.value is None):
+        yield _site(flow, params, call, out, "out=",
+                    "out= target is written in place")
+
+
+# -- escape sites --------------------------------------------------------------
+
+
+def is_cache_expr(expr: ast.expr) -> bool:
+    """Whether ``expr`` names a cache container (``cache``/``lru``/``memo``)."""
+    name = None
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    return bool(name and CACHE_NAME_RE.search(name.lower()))
+
+
+def _escape_sites(flow: FunctionDataflow, scope: ast.AST) -> Iterator[EscapeSite]:
+    for expr in flow.returns:
+        yield EscapeSite(node=expr, value=expr, kind="return")
+    for node in scope_nodes(scope):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if (isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name)
+                        and t.value.id == "self"):
+                    yield EscapeSite(node=node, value=node.value, kind="self-store")
+                elif isinstance(t, ast.Subscript) and is_cache_expr(t.value):
+                    yield EscapeSite(node=node, value=node.value, kind="cache-store")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and func.attr == "setdefault"
+                    and is_cache_expr(func.value) and len(node.args) >= 2):
+                yield EscapeSite(node=node, value=node.args[1], kind="cache-store")
+            else:
+                tname = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else None)
+                if tname and _CACHE_PUT_RE.search(tname) and node.args:
+                    yield EscapeSite(node=node, value=node.args[-1],
+                                     kind="cache-store")
+
+
+# -- view derivation -----------------------------------------------------------
+
+
+def _has_slice(sub: ast.Subscript) -> bool:
+    items = sub.slice.elts if isinstance(sub.slice, ast.Tuple) else [sub.slice]
+    return any(isinstance(it, ast.Slice) for it in items)
+
+
+def _view_reason(
+    flow: FunctionDataflow,
+    expr: ast.expr,
+    at: ast.AST,
+    seen: set[int],
+    depth: int,
+) -> tuple[str, str] | None:
+    """``(kind, detail)`` when ``expr`` denotes borrowed storage, else None."""
+    if depth <= 0 or id(expr) in seen:
+        return None
+    seen.add(id(expr))
+    if isinstance(expr, ast.Subscript):
+        if _has_slice(expr):
+            return "slice", f"a slice view of '{_display(expr.value)}'"
+        if is_cache_expr(expr.value) and isinstance(expr.ctx, ast.Load):
+            return ("cache",
+                    f"a value borrowed from cache '{_display(expr.value)}'")
+        return None
+    if isinstance(expr, ast.Attribute):
+        if expr.attr == "T":
+            return _view_reason(flow, expr.value, at, seen, depth - 1)
+        inner = _view_reason(flow, expr.value, at, seen, depth - 1)
+        if inner is not None and inner[0] == "tree":
+            # Array fields of a tree view (t.radii, t.parent, ...) are
+            # themselves slices of the stacked forest storage.
+            return "tree", (f"array field '.{expr.attr}' of a zero-copy "
+                            "tree view")
+        return None
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in VIEW_METHODS:
+                return ("tree",
+                        f".{func.attr}() returns zero-copy views into "
+                        "stacked forest storage")
+            if func.attr == "get" and is_cache_expr(func.value):
+                return ("cache",
+                        f"a value borrowed from cache '{_display(func.value)}'")
+            if func.attr in _VIEW_PRESERVING:
+                return _view_reason(flow, func.value, at, seen, depth - 1)
+        tname = (func.attr if isinstance(func, ast.Attribute)
+                 else func.id if isinstance(func, ast.Name) else None)
+        if tname and _CACHE_GET_RE.search(tname):
+            return "cache", "a value borrowed from a cache"
+        np_name = _np_namespace_func(flow, expr)
+        if np_name == "memmap":
+            return "memmap", "a memmap-backed array"
+        if np_name in _VIEW_PRESERVING and expr.args:
+            return _view_reason(flow, expr.args[0], at, seen, depth - 1)
+        return None
+    if isinstance(expr, ast.Name):
+        assign = flow.last_def_before(expr.id, at)
+        if assign is None:
+            return None
+        value = getattr(assign, "value", None)
+        if value is None or isinstance(assign, ast.AugAssign):
+            return None
+        if isinstance(assign, ast.Assign) and not any(
+            isinstance(t, (ast.Name, ast.Tuple, ast.List))
+            for t in assign.targets
+        ):
+            return None
+        return _view_reason(flow, value, assign, seen, depth - 1)
+    if isinstance(expr, ast.IfExp):
+        a = _view_reason(flow, expr.body, at, seen, depth - 1)
+        return a if a is not None else _view_reason(flow, expr.orelse, at,
+                                                    seen, depth - 1)
+    return None
+
+
+def _display(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Attribute):
+        inner = _display(expr.value)
+        return f"{inner}.{expr.attr}" if inner != "?" else expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Subscript):
+        return f"{_display(expr.value)}[...]"
+    return "?"
+
+
+# -- interprocedural propagation -----------------------------------------------
+
+
+def _map_args(fn: ast.AST, call: ast.Call) -> Iterator[tuple[str, ast.expr]]:
+    if any(isinstance(a, ast.Starred) for a in call.args):
+        return
+    pos = [a.arg for a in fn.args.posonlyargs + fn.args.args]
+    yield from zip(pos, call.args)
+    named = set(pos) | {a.arg for a in fn.args.kwonlyargs}
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in named:
+            yield kw.arg, kw.value
+
+
+def _callee_of(project, info, call: ast.Call):
+    """``(qual, fn)`` for a project-local, non-method callee (or None)."""
+    parts: list[str] = []
+    cur = call.func
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    dotted = ".".join(reversed(parts))
+    qual = project.resolve(info, dotted)
+    if qual is None:
+        return None
+    hit = project.lookup_function(qual)
+    if hit is None:
+        return None
+    _, fn = hit
+    pos = fn.args.posonlyargs + fn.args.args
+    if pos and pos[0].arg in ("self", "cls"):
+        return None  # bound-method arg mapping is unreliable statically
+    return qual, fn
+
+
+def mutated_param_summaries(project) -> dict[str, dict[str, str]]:
+    """``qualified fn -> {param -> why it is mutated}``, to a fixpoint.
+
+    Round 0 is each function's own mutation sites; each later round adds
+    parameters that flow (as provable aliases) into a callee parameter the
+    previous round proved mutated — so a write three calls deep surfaces
+    on the public entry point.  Cached on the Project instance.
+    """
+    cached = getattr(project, "_ownership_summaries", None)
+    if cached is not None:
+        return cached
+
+    functions = project.functions()
+    flows: dict[str, FunctionDataflow] = {}
+    params: dict[str, set[str]] = {}
+    summaries: dict[str, dict[str, str]] = {}
+    for qual, (info, fn) in functions.items():
+        flow = FunctionDataflow(fn)
+        flows[qual] = flow
+        pset = _param_names(fn)
+        params[qual] = pset
+        summaries[qual] = {}
+        for site in _mutation_sites(flow, fn, pset):
+            if site.param is not None and site.param not in summaries[qual]:
+                summaries[qual][site.param] = site.detail
+
+    # Call edges with provable param→param aliasing, computed once.
+    edges: list[tuple[str, str, str, str]] = []  # (caller, cparam, callee, kparam)
+    for qual, (info, fn) in functions.items():
+        flow = flows[qual]
+        pset = params[qual]
+        for node in scope_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _callee_of(project, info, node)
+            if target is None:
+                continue
+            callee_qual, callee_fn = target
+            if callee_qual == qual or callee_qual not in summaries:
+                continue
+            for pname, arg in _map_args(callee_fn, node):
+                root = param_root(base_key(flow, pset, arg, node))
+                if root is not None:
+                    edges.append((qual, root, callee_qual, pname))
+
+    for _ in range(len(functions) + 1):
+        changed = False
+        for caller, cparam, callee, kparam in edges:
+            why = summaries[callee].get(kparam)
+            if why is None or cparam in summaries[caller]:
+                continue
+            short = callee.rsplit(".", 1)[-1]
+            summaries[caller][cparam] = (
+                f"passed to {short}(), which mutates parameter "
+                f"'{kparam}' ({why})"
+            )
+            changed = True
+        if not changed:
+            break
+
+    project._ownership_summaries = summaries
+    return summaries

@@ -15,6 +15,12 @@ from typing import Iterable, Iterator
 
 from tools.reprolint.dataflow import function_scopes, get_dataflow, scope_nodes
 from tools.reprolint.engine import Finding, LintContext, Rule, register_rule
+from tools.reprolint.ownership import (
+    base_key,
+    get_ownership,
+    mutated_param_summaries,
+    param_root,
+)
 from tools.reprolint.shapes import (
     KNOWN_DTYPES,
     dtype_token,
@@ -1144,3 +1150,343 @@ class RngStreamFlowRule(Rule):
             if isinstance(f, ast.Attribute) and f.attr in cls._UNORDERED_VIEWS:
                 return True
         return False
+
+
+# -- shared ownership/contract helpers (ownership rules, PR 9) -----------------
+
+
+def _is_fn(scope: ast.AST) -> bool:
+    return isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+
+
+def _params_with_ownership(ctx: LintContext, scope: ast.AST, qual: str) -> set[str]:
+    """Parameter names whose declared contract carries ownership ``qual``."""
+    if not _is_fn(scope):
+        return set()
+    cs = extract_contracts(ctx, scope)
+    return {name for name, c in cs.params.items() if c.ownership == qual}
+
+
+def _return_ownership(ctx: LintContext, scope: ast.AST) -> str | None:
+    if not _is_fn(scope):
+        return None
+    cs = extract_contracts(ctx, scope)
+    return cs.returns.ownership if cs.returns is not None else None
+
+
+_NP_FRESH_ALLOCS = frozenset({
+    "zeros", "empty", "ones", "full", "arange", "linspace", "eye",
+    "zeros_like", "empty_like", "ones_like", "full_like",
+})
+
+#: Calls whose result owns fresh storage regardless of the arguments.
+_OWNING_CALL_NAMES = frozenset({
+    "copy", "deepcopy", "array", "tolist", "list", "dict", "float", "int",
+    "bool", "str", "tuple", "sorted", "stack", "concatenate", "hstack",
+    "vstack",
+}) | _NP_FRESH_ALLOCS
+
+
+def _ownedness(own, expr: ast.expr, at: ast.AST, depth: int = 8):
+    """``(verdict, reason)``: is ``expr`` freshly owned storage?
+
+    ``True`` — provably owned (copy, fresh allocation, arithmetic result,
+    literal).  ``False`` — provably *aliased* (a parameter, a view, a
+    cache borrow), with the reason.  ``None`` — no claim (unknown calls,
+    attribute loads): conservative rules stay silent.
+    """
+    if depth <= 0:
+        return None, None
+    vk = own.view_kind(expr, at=at)
+    if vk is not None:
+        return False, vk[1]
+    if isinstance(expr, ast.Constant):
+        return True, None
+    if isinstance(expr, (ast.BinOp, ast.UnaryOp, ast.Compare, ast.BoolOp)):
+        return True, None  # operator results are fresh arrays/scalars
+    if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp,
+                         ast.GeneratorExp)):
+        return True, None
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        verdicts = [_ownedness(own, e, at, depth - 1) for e in expr.elts]
+        for v, why in verdicts:
+            if v is False:
+                return False, why
+        if verdicts and all(v is True for v, _ in verdicts):
+            return True, None
+        return None, None
+    if isinstance(expr, ast.Call):
+        tname = terminal_name(expr.func)
+        if tname in _OWNING_CALL_NAMES:
+            return True, None
+        return None, None
+    if isinstance(expr, ast.Name):
+        assign = own.flow.last_def_before(expr.id, at)
+        if assign is None:
+            if expr.id in own.params:
+                return False, (f"parameter '{expr.id}' — the caller retains "
+                               "an alias to the same storage")
+            return None, None
+        value = getattr(assign, "value", None)
+        if value is None or isinstance(assign, ast.AugAssign):
+            return None, None
+        return _ownedness(own, value, assign, depth - 1)
+    return None, None
+
+
+# -- R14: no in-place writes through borrowed storage --------------------------
+
+
+@register_rule
+class ViewMutationRule(Rule):
+    name = "view-mutation"
+    summary = "no in-place writes through views, memmaps, or cache borrows"
+    invariant = (
+        "Arrays reached through a slice view, a ``tree()``/``trees()`` "
+        "forest view, a memmap load, or a cache borrow are *borrowed* "
+        "storage: an in-place write corrupts the owner (every other view "
+        "of the stacked forest, the on-disk artifact, every future cache "
+        "hit) far from the write site.  Mutation is tracked through "
+        "aliases — `t = forest.tree(0); r = t.radii[1:]; r[0] = x` flags "
+        "even though no borrowed spelling appears on the write line — and "
+        "parameters contracted `view` are borrowed by definition.  Copy "
+        "first: the runtime REPRO_FREEZE sanitizer turns these into hard "
+        "errors, this rule catches them before they run."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        mod = project.module_for_path(ctx.path) if project else None
+        summaries = mutated_param_summaries(project) if project else {}
+        for scope in function_scopes(ctx.tree):
+            own = get_ownership(ctx, scope)
+            view_params = _params_with_ownership(ctx, scope, "view")
+            for site in own.mutations:
+                if site.param is not None and site.param in view_params:
+                    yield ctx.finding(
+                        site.node, self,
+                        f"in-place write ({site.detail}) through parameter "
+                        f"'{site.param}', which is contracted 'view' — the "
+                        "caller's storage would change; .copy() first",
+                    )
+                    continue
+                vk = own.view_kind(site.base, at=site.node)
+                if vk is not None:
+                    yield ctx.finding(
+                        site.node, self,
+                        f"in-place write ({site.detail}) through {vk[1]} — "
+                        "borrowed storage; mutate a .copy() instead",
+                    )
+            if mod is None:
+                continue
+            for node in scope_nodes(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = _resolved_callee(project, mod, node)
+                if target is None:
+                    continue
+                qual, callee_fn = target
+                mutated = summaries.get(qual, {})
+                short = qual.rsplit(".", 1)[-1]
+                for pname, arg in _map_call_args(callee_fn, node):
+                    if pname not in mutated:
+                        continue
+                    vk = own.view_kind(arg, at=node)
+                    root = param_root(base_key(own.flow, own.params, arg, node))
+                    if vk is not None:
+                        yield ctx.finding(
+                            arg, self,
+                            f"{vk[1]} passed to {short}(), which mutates "
+                            f"parameter '{pname}' ({mutated[pname]}) — pass "
+                            "a .copy()",
+                        )
+                    elif root is not None and root in view_params:
+                        yield ctx.finding(
+                            arg, self,
+                            f"parameter '{root}' (contracted 'view') passed "
+                            f"to {short}(), which mutates parameter "
+                            f"'{pname}' ({mutated[pname]})",
+                        )
+
+
+# -- R15: frozen parameters stay frozen, transitively --------------------------
+
+
+@register_rule
+class FrozenParamMutationRule(Rule):
+    name = "frozen-param-mutation"
+    summary = "a parameter contracted `frozen` is never written, at any depth"
+    invariant = (
+        "A `frozen` qualifier on a parameter contract is a promise to the "
+        "caller that the argument is read-only for the whole call: the "
+        "function neither writes it nor hands it to anything that does.  "
+        "The interprocedural mutation summaries make the promise "
+        "transitive — passing a frozen array to a helper whose own callee "
+        "three frames down does `x[i] = v` flags the public entry point, "
+        "not just the leaf.  This is the static twin of REPRO_FREEZE's "
+        "writeable=False runtime check."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        mod = project.module_for_path(ctx.path) if project else None
+        summaries = mutated_param_summaries(project) if project else {}
+        for scope in function_scopes(ctx.tree):
+            frozen = _params_with_ownership(ctx, scope, "frozen")
+            if not frozen:
+                continue
+            own = get_ownership(ctx, scope)
+            for site in own.mutations:
+                if site.param is not None and site.param in frozen:
+                    yield ctx.finding(
+                        site.node, self,
+                        f"in-place write ({site.detail}) to parameter "
+                        f"'{site.param}', which is contracted 'frozen' — "
+                        "drop the qualifier or mutate a copy",
+                    )
+            if mod is None:
+                continue
+            for node in scope_nodes(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = _resolved_callee(project, mod, node)
+                if target is None:
+                    continue
+                qual, callee_fn = target
+                mutated = summaries.get(qual, {})
+                short = qual.rsplit(".", 1)[-1]
+                for pname, arg in _map_call_args(callee_fn, node):
+                    if pname not in mutated:
+                        continue
+                    root = param_root(base_key(own.flow, own.params, arg, node))
+                    if root is not None and root in frozen:
+                        yield ctx.finding(
+                            arg, self,
+                            f"parameter '{root}' (contracted 'frozen') "
+                            f"passed to {short}(), which mutates parameter "
+                            f"'{pname}' ({mutated[pname]})",
+                        )
+
+
+# -- R16: cache boundaries exchange owned values only --------------------------
+
+
+@register_rule
+class CacheAliasingRule(Rule):
+    name = "cache-aliasing"
+    summary = "values crossing a cache boundary are owned — copied or fresh"
+    invariant = (
+        "A cache (any `cache`/`lru`/`memo` container, `.setdefault` on "
+        "one, or a `*cache_put*` call) stores long-lived truth: inserting "
+        "a value the caller still aliases lets a later in-place write "
+        "poison every future hit, and returning a cached value uncopied "
+        "from a public function hands internal storage to code that never "
+        "promised not to write it.  Entering values must be owned "
+        "(`.copy()`, a fresh allocation, an arithmetic result); leaving "
+        "values must be copied before a public return.  The PR-8 serve "
+        "layer caches column copies and re-copies on hit for exactly this "
+        "reason."
+    )
+    scope = ("src", "benchmarks", "examples")
+    exempt = {}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for scope in function_scopes(ctx.tree):
+            own = get_ownership(ctx, scope)
+            public = _is_fn(scope) and not scope.name.startswith("_")
+            for esc in own.escapes:
+                if esc.kind == "cache-store":
+                    verdict, why = _ownedness(own, esc.value, esc.node)
+                    if verdict is False:
+                        yield ctx.finding(
+                            esc.node, self,
+                            f"cached value is {why} — a cache must own its "
+                            "entries; insert a .copy() (or a freshly "
+                            "allocated value)",
+                        )
+                elif esc.kind == "return" and public:
+                    vk = own.view_kind(esc.value, at=esc.node)
+                    if vk is not None and vk[0] == "cache":
+                        yield ctx.finding(
+                            esc.node, self,
+                            f"public function '{scope.name}' returns {vk[1]} "
+                            "without copying — cached storage escapes to "
+                            "callers; return a .copy()",
+                        )
+
+
+# -- R17: escaping shared storage is declared ----------------------------------
+
+
+@register_rule
+class EscapeUndeclaredRule(Rule):
+    name = "escape-undeclared"
+    summary = "public functions returning borrowed storage contract it `view`"
+    invariant = (
+        "A public function that returns internal shared storage — a slice "
+        "of a `self.` array, a `tree()`/`trees()` forest view, a "
+        "memmap-backed load, or (in project mode) the result of a callee "
+        "whose return contract is `view` — must say so with a `view` "
+        "qualifier on its return contract.  Callers plan copies around "
+        "that one word; an undeclared view is how PR-8's serve cache "
+        "briefly returned live columns.  Functions returning owned data "
+        "need no qualifier."
+    )
+    scope = ("src",)
+    exempt = {}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        mod = project.module_for_path(ctx.path) if project else None
+        for scope in function_scopes(ctx.tree):
+            if not _is_fn(scope) or scope.name.startswith("_"):
+                continue
+            if _return_ownership(ctx, scope) == "view":
+                continue
+            own = get_ownership(ctx, scope)
+            for ret in own.flow.returns:
+                reason = self._borrowed(own, ret)
+                if reason is None and mod is not None:
+                    reason = self._callee_view(ctx, project, mod, own, ret)
+                if reason is not None:
+                    yield ctx.finding(
+                        ret, self,
+                        f"public function '{scope.name}' returns {reason} "
+                        "but its return contract does not declare 'view' — "
+                        "add `# shape: -> ... view` (or return a copy)",
+                    )
+                    break  # one finding per function is enough
+
+    @staticmethod
+    def _borrowed(own, ret: ast.expr) -> str | None:
+        vk = own.view_kind(ret, at=ret)
+        if vk is None:
+            return None
+        kind, detail = vk
+        if kind in ("tree", "memmap"):
+            return detail
+        if kind == "slice" and "self." in detail:
+            return detail
+        return None  # cache borrows are cache-aliasing's finding, not ours
+
+    @staticmethod
+    def _callee_view(ctx, project, mod, own, ret: ast.expr) -> str | None:
+        expr = ret
+        if isinstance(expr, ast.Name):
+            assign = own.flow.last_def_before(expr.id, ret)
+            expr = getattr(assign, "value", None) if assign is not None else None
+        if not isinstance(expr, ast.Call):
+            return None
+        target = _resolved_callee(project, mod, expr)
+        if target is None:
+            return None
+        qual, callee_fn = target
+        cs = _callee_contracts(project, qual, callee_fn)
+        if cs.returns is not None and cs.returns.ownership == "view":
+            short = qual.rsplit(".", 1)[-1]
+            return f"the result of {short}(), whose return contract is 'view',"
+        return None

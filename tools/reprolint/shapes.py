@@ -15,8 +15,23 @@ contract convention is machine-readable and lives where reviewers read:
   Forms: ``(dims) [dtype]`` for arrays, ``csr(segments)`` for the CSR
   container types (FlatStates / BatchedFlatStates — ``segments`` is the
   segment-count expression, e.g. ``csr(k*n)``), ``scalar`` for plain
-  numbers/strings/flags, and a leading ``->`` for the return value.
+  numbers/strings/flags, ``object`` for structured objects (dataclasses,
+  containers of arrays), and a leading ``->`` for the return value.
   Dims are identifiers, integers, or simple products/sums (``k*n+1``).
+
+  Any form may carry one trailing **ownership qualifier**::
+
+      def tree(self, s):  # shape: -> object view
+
+  - ``frozen`` — the callee (and everything it calls) must not mutate
+    this value in place (checked by the ``frozen-param-mutation`` rule,
+    interprocedurally);
+  - ``view`` — borrowed storage: the value aliases internal shared
+    arrays and must never be written through (``view-mutation``), and
+    public functions returning such storage must declare it
+    (``escape-undeclared``);
+  - ``owned`` — freshly allocated: the receiver may mutate freely, no
+    aliasing with the producer's state.
 
 - or a numpydoc ``Parameters`` block whose description carries a
   double-backtick shape, e.g. ``ranks: ``(k, n)`` matrix of ...`` —
@@ -49,6 +64,7 @@ __all__ = [
     "Contract",
     "ContractSet",
     "KNOWN_DTYPES",
+    "OWNERSHIP_QUALIFIERS",
     "dtype_token",
     "extract_contracts",
     "infer_dtype",
@@ -67,12 +83,17 @@ KNOWN_DTYPES = frozenset({
 })
 
 _COMMENT_RE = re.compile(r"#\s*shape:\s*(.+?)\s*$")
+#: Ownership qualifiers a contract may carry (trailing token, any form).
+OWNERSHIP_QUALIFIERS = ("frozen", "owned", "view")
 _FORM_RE = re.compile(
     r"^(?P<ret>->\s*)?"
-    r"(?:(?P<scalar>scalar)"
+    r"(?:(?P<scalar>scalar|object)"
     r"|(?P<csr>csr)?\(\s*(?P<dims>[^)]*)\)"
-    r"(?:\s+(?P<dtype>[A-Za-z_][A-Za-z0-9_]*))?"
-    r")$"
+    # The dtype slot must not swallow a bare ownership qualifier
+    # ('(n,) frozen' has no dtype), hence the lookahead.
+    r"(?:\s+(?!(?:frozen|owned|view)\b)(?P<dtype>[A-Za-z_][A-Za-z0-9_]*))?"
+    r")"
+    r"(?:\s+(?P<own>frozen|owned|view))?$"
 )
 _DIM_RE = re.compile(r"^[A-Za-z0-9_]+(\s*[+*\-]\s*[A-Za-z0-9_]+)*$")
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
@@ -85,15 +106,18 @@ _DOC_SHAPE_RE = re.compile(
 class Contract:
     """One declared parameter/return shape.
 
-    ``dims`` is ``None`` for ``scalar`` contracts; for ``csr`` contracts
-    it holds the single segment-count expression.
+    ``dims`` is ``None`` for ``scalar``/``object`` contracts; for ``csr``
+    contracts it holds the single segment-count expression.  ``ownership``
+    is the optional trailing qualifier (``frozen`` | ``owned`` | ``view``,
+    ``None`` when undeclared).
     """
 
-    kind: str  # "array" | "csr" | "scalar"
+    kind: str  # "array" | "csr" | "scalar" | "object"
     dims: tuple[str, ...] | None
     dtype: str | None
     line: int
     source: str  # "comment" | "docstring"
+    ownership: str | None = None
 
     @property
     def rank(self) -> int | None:
@@ -122,10 +146,14 @@ def parse_contract(text: str, line: int, source: str) -> tuple[Contract | None, 
     if m is None:
         return None, (
             f"unparseable shape contract {text!r} — expected '(dims) [dtype]', "
-            "'csr(segments)', 'scalar', or a '->' return form"
+            "'csr(segments)', 'scalar', or 'object', optionally followed by "
+            "one ownership qualifier (frozen | owned | view), or a '->' "
+            "return form"
         )
+    ownership = m.group("own")
     if m.group("scalar"):
-        return Contract("scalar", None, None, line, source), None
+        return Contract(m.group("scalar"), None, None, line, source,
+                        ownership=ownership), None
     raw_dims = m.group("dims").strip()
     kind = "csr" if m.group("csr") else "array"
     dims: tuple[str, ...]
@@ -151,7 +179,7 @@ def parse_contract(text: str, line: int, source: str) -> tuple[Contract | None, 
             f"unknown dtype {dtype!r} in shape contract {text!r} "
             f"(known: {', '.join(sorted(KNOWN_DTYPES))})"
         )
-    return Contract(kind, dims, dtype, line, source), None
+    return Contract(kind, dims, dtype, line, source, ownership=ownership), None
 
 
 def _param_names(fn: ast.AST) -> list[str]:
