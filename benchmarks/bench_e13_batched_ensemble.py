@@ -19,6 +19,12 @@ the serial ``build_frt_tree`` loop, and the fused
 :func:`~repro.frt.forest.build_frt_forest` pass, and asserts the forest
 build beats the serial per-sample loop ≥ 3x at ``n=1024, k=16``.
 
+**Sharded execution (this PR):** ``test_e13_sharded_ensemble`` times the
+process-pool sharding of the batched engine (``ExecutionConfig(
+mode="batched", workers=2)``) against the in-process batched run,
+asserts bit-identical stacked forests always, and a ≥ 1.6x speedup floor
+at ``n=1024, k=16`` when the machine has ≥ 2 usable cores.
+
 **Baseline note (problem-centric engine API PR):** the serial loop now
 routes every LE-list fixpoint through the *same* incremental prune/merge
 kernel as the batch (``run_dense`` is the ``k = 1`` view of the batched
@@ -32,6 +38,7 @@ no-bad-regression floor on throughput, with the measured speedup recorded
 for the perf trajectory.
 """
 
+import os
 import time
 
 import numpy as np
@@ -40,6 +47,7 @@ import pytest
 from repro.api import (
     as_rng,
     EmbeddingConfig,
+    ExecutionConfig,
     generators as gen,
     HopsetConfig,
     Pipeline,
@@ -173,6 +181,71 @@ def test_e13_tree_stage_split(benchmark, n, k, assert_speedup):
         assert speedup >= assert_speedup, (
             f"forest build only {speedup:.2f}x the serial per-sample tree "
             f"loop at n={n}, k={k} (floor {assert_speedup}x)"
+        )
+
+
+@pytest.mark.parametrize(
+    "n,k,workers,assert_speedup",
+    [
+        (128, 4, 2, None),  # CI smoke size
+        (1024, 16, 2, 1.6),  # sharding must win >= 1.6x given >= 2 cores
+    ],
+    ids=lambda v: str(v),
+)
+def test_e13_sharded_ensemble(benchmark, n, k, workers, assert_speedup):
+    """Sharded (process-pool) vs in-process batched ensemble.
+
+    The sample axis is embarrassingly parallel: per-sample child
+    generators are spawned before any fan-out and the concat primitives
+    re-stack the per-shard results into the single-process layout, so the
+    sharded run must be *bit-identical* to the in-process batched run —
+    asserted always, on every array of the stacked forest.  The speedup
+    floor is a real-parallelism claim, so it only applies when the
+    machine actually has >= 2 usable cores (on a single-core CI runner
+    the pool can only add overhead; the measured ratio is still recorded
+    for the perf trajectory).
+    """
+    g = gen.random_graph(n, 3 * n, rng=23)
+    cfg = PipelineConfig(embedding=EmbeddingConfig(method="direct"))
+    inproc_s, inproc_res = _time_ensemble(g, cfg, k, 3, "batched")
+
+    def run_sharded():
+        pipe = Pipeline(g, cfg)
+        t0 = time.perf_counter()
+        res = pipe.sample_ensemble(
+            k=k, seed=3, execution=ExecutionConfig(mode="batched", workers=workers)
+        )
+        return time.perf_counter() - t0, res
+
+    (sharded_s, sharded_res) = benchmark.pedantic(
+        run_sharded, rounds=1, iterations=1
+    )
+    _assert_identical(inproc_res, sharded_res)
+    for name in ("betas", "depths", "radii", "edge_weights", "cum_weights",
+                 "level_ids", "node_offsets", "parent", "node_level",
+                 "node_leading"):
+        assert np.array_equal(
+            getattr(inproc_res.forest, name), getattr(sharded_res.forest, name)
+        ), name
+    cpus = len(os.sched_getaffinity(0))
+    speedup = inproc_s / sharded_s
+    benchmark.extra_info.update(
+        n=n,
+        m=g.m,
+        k=k,
+        workers=workers,
+        cpus=cpus,
+        backend="dense",
+        inprocess_seconds=inproc_s,
+        sharded_seconds=sharded_s,
+        sharded_trees_per_s=k / sharded_s,
+        speedup=speedup,
+    )
+    if assert_speedup is not None and cpus >= workers:
+        assert speedup >= assert_speedup, (
+            f"sharded ensemble only {speedup:.2f}x the in-process batched "
+            f"run at n={n}, k={k}, workers={workers} "
+            f"(floor {assert_speedup}x, {cpus} cores)"
         )
 
 

@@ -51,6 +51,7 @@ from repro.api.configs import (
     ENSEMBLE_MODES,
     HOPSET_KINDS,
     EmbeddingConfig,
+    ExecutionConfig,
     HopsetConfig,
     OracleConfig,
     PipelineConfig,
@@ -101,6 +102,7 @@ __all__ = [
     "HopsetConfig",
     "OracleConfig",
     "EmbeddingConfig",
+    "ExecutionConfig",
     "HOPSET_KINDS",
     "EMBEDDING_METHODS",
     "ENSEMBLE_MODES",

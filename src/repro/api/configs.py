@@ -16,6 +16,7 @@ __all__ = [
     "HopsetConfig",
     "OracleConfig",
     "EmbeddingConfig",
+    "ExecutionConfig",
     "PipelineConfig",
     "HOPSET_KINDS",
     "EMBEDDING_METHODS",
@@ -163,6 +164,77 @@ class EmbeddingConfig(_ConfigBase):
 
 
 @dataclass(frozen=True)
+class ExecutionConfig(_ConfigBase):
+    """*How* to run the ensemble — never *what* it computes.
+
+    Execution knobs are deliberately separated from the stage configs:
+    every combination of ``mode`` / ``workers`` / ``shard_size`` produces
+    bit-identical results (per-sample child generators are spawned before
+    any fan-out, and the sharded concat re-stacks the per-shard arrays to
+    the exact single-process layout), so this config is *excluded* from
+    the provenance fingerprint stamped on results and artifacts.
+
+    Parameters
+    ----------
+    mode:
+        ``"serial"`` — one LE-list computation per sample; ``"batched"``
+        — all samples fused into one vectorized multi-sample pass.
+        ``None`` (default) inherits ``EmbeddingConfig.ensemble_mode``.
+    workers:
+        Process-pool width.  ``1`` (default) runs in-process.  ``> 1``
+        fans out: in ``"serial"`` mode one sample per task (the PR-1
+        pool), in ``"batched"`` mode the sample axis is *sharded* — each
+        worker runs the fused engine on its contiguous slice of samples
+        and the parent concatenates the stacked results.
+    shard_size:
+        Maximum samples per batched shard.  ``None`` (default) balances
+        ``k`` evenly across ``workers`` (``ceil(k / workers)``).  Smaller
+        shards trade per-task overhead for scheduling granularity; the
+        results are bit-identical either way.  Only meaningful for
+        ``mode="batched"`` with ``workers > 1``.
+    """
+
+    mode: str | None = None
+    workers: int = 1
+    shard_size: int | None = None
+
+    def __post_init__(self):
+        if self.mode is not None and self.mode not in ENSEMBLE_MODES:
+            raise ValueError(
+                f"execution mode must be one of {ENSEMBLE_MODES} or None "
+                f"(inherit ensemble_mode), got {self.mode!r}"
+            )
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise TypeError(f"workers must be an int, got {type(self.workers)!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shard_size is not None and (
+            not isinstance(self.shard_size, int) or self.shard_size < 1
+        ):
+            raise ValueError(
+                f"shard_size must be a positive int or None, got {self.shard_size!r}"
+            )
+
+    def with_overrides(
+        self, *, mode: str | None = None, workers: int | None = None
+    ) -> "ExecutionConfig":
+        """This config with the legacy per-call kwargs folded in.
+
+        The deprecated ``sample_ensemble(mode=..., workers=...)`` spelling
+        maps onto a fresh (validated) config; ``None`` keeps the field.
+        Legacy ``workers`` accepted ``0``/negatives as "serial", so values
+        below ``1`` clamp to ``1``.
+        """
+        if mode is None and workers is None:
+            return self
+        return ExecutionConfig(
+            mode=self.mode if mode is None else mode,
+            workers=self.workers if workers is None else max(1, int(workers)),
+            shard_size=self.shard_size,
+        )
+
+
+@dataclass(frozen=True)
 class PipelineConfig(_ConfigBase):
     """Composite configuration of the full hop-set → oracle → FRT pipeline.
 
@@ -170,6 +242,10 @@ class PipelineConfig(_ConfigBase):
     ----------
     hopset, oracle, embedding:
         Per-stage configs (defaults reproduce the paper's main pipeline).
+    execution:
+        How ensembles run (:class:`ExecutionConfig`: mode / workers /
+        shard granularity).  Excluded from the provenance fingerprint —
+        execution never changes results.
     seed:
         Base seed for all pipeline randomness (construction *and*
         sampling).  ``None`` draws fresh OS entropy; an explicit ``rng``
@@ -179,6 +255,7 @@ class PipelineConfig(_ConfigBase):
     hopset: HopsetConfig = field(default_factory=HopsetConfig)
     oracle: OracleConfig = field(default_factory=OracleConfig)
     embedding: EmbeddingConfig = field(default_factory=EmbeddingConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     seed: int | None = None
 
     def __post_init__(self):
@@ -188,6 +265,8 @@ class PipelineConfig(_ConfigBase):
             raise TypeError("oracle must be an OracleConfig")
         if not isinstance(self.embedding, EmbeddingConfig):
             raise TypeError("embedding must be an EmbeddingConfig")
+        if not isinstance(self.execution, ExecutionConfig):
+            raise TypeError("execution must be an ExecutionConfig")
         if self.seed is not None and (not isinstance(self.seed, int) or self.seed < 0):
             raise ValueError("seed must be a non-negative int or None")
 
@@ -207,6 +286,7 @@ class PipelineConfig(_ConfigBase):
             ("hopset", HopsetConfig),
             ("oracle", OracleConfig),
             ("embedding", EmbeddingConfig),
+            ("execution", ExecutionConfig),
         ):
             if key in data:
                 value = data[key]

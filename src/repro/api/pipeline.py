@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.api.configs import ENSEMBLE_MODES, PipelineConfig
+from repro.api.configs import ENSEMBLE_MODES, ExecutionConfig, PipelineConfig
 from repro.api.registry import get_backend, invoke_solve, resolve_engine
 from repro.api.result import DistanceOracle, PipelineResult, SolveResult
 from repro.frt.embedding import EmbeddingResult, _draw_randomness
@@ -42,6 +43,7 @@ from repro.hopsets.exact_closure import exact_closure_hopset
 from repro.hopsets.identity import identity_hopset
 from repro.hopsets.rounded import rounded_hopset
 from repro.hopsets.skeleton import hub_hopset
+from repro.mbf.dense import BatchedFlatStates
 from repro.metric.approx_metric import MetricResult, metric_from_oracle
 from repro.oracle.oracle import HOracle
 from repro.pram.cost import NULL_LEDGER, CostLedger
@@ -223,13 +225,15 @@ class Pipeline:
         seed: int | None = None,
         workers: int | None = None,
         mode: str | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> PipelineResult:
         """Sample ``k`` independent trees, amortizing one artifact build.
 
         The hop set / oracle are built (at most) once and shared by all
         ``k`` samples; each sample draws from its own spawned child
-        generator, so the batch is bit-reproducible under a fixed ``seed``
-        regardless of ``workers`` or ``mode``.
+        generator (spawned *before* any fan-out), so the batch is
+        bit-reproducible under a fixed ``seed`` regardless of execution
+        mode, worker count, or shard boundaries.
 
         Parameters
         ----------
@@ -238,36 +242,42 @@ class Pipeline:
             too (if the artifacts are not yet built), so a fresh
             ``Pipeline(G, cfg).sample_ensemble(k, seed=s)`` is fully
             deterministic.  ``None`` continues the pipeline's own stream.
-        workers:
-            ``None``/``0``/``1`` = serial.  ``> 1`` fans samples out to a
-            process pool (per-sample ledgers are returned by the workers,
-            but mutations of shared artifacts — e.g. oracle
-            inner-iteration stats — stay in the children).  Third-party
-            backends are shipped to the workers by value, so their
-            ``le_lists`` driver must be picklable (a module-level
-            function, not a lambda) under spawn/forkserver start methods.
-            Only meaningful for ``mode="serial"``.
-        mode:
-            ``"serial"`` — one LE-list computation per sample (the legacy
-            loop); ``"batched"`` — all ``k`` LE-list computations fused
-            into one vectorized multi-sample pass (see
-            :mod:`repro.mbf.dense`), bit-identical to the serial loop
-            sample for sample (trees, iteration counts, ledger totals).
-            ``None`` uses ``config.embedding.ensemble_mode``.
+        execution:
+            Per-call :class:`~repro.api.configs.ExecutionConfig` override;
+            ``None`` uses ``config.execution``.  ``mode="serial"`` with
+            ``workers > 1`` fans one sample per pool task; ``"batched"``
+            with ``workers > 1`` *shards* the sample axis — each worker
+            runs the fused engine on a contiguous slice and the shards are
+            concatenated (:meth:`~repro.mbf.dense.BatchedFlatStates.concat`
+            / :meth:`~repro.frt.forest.FRTForest.concat`) into the exact
+            single-process layout.  Third-party backends are shipped to
+            the workers by value, so their drivers must be picklable (a
+            module-level function, not a lambda) under spawn/forkserver
+            start methods.
+        workers, mode:
+            Deprecated loose spelling of the execution knobs; when given
+            they override the corresponding ``execution`` fields
+            (bit-identical mapping, ``workers=None``/``0``/``1`` = 1).
+            Prefer ``execution=ExecutionConfig(...)``.
         """
         if k < 1:
             raise ValueError("ensemble size k must be >= 1")
-        if mode is None:
-            mode = self.config.embedding.ensemble_mode
-        if mode not in ENSEMBLE_MODES:
+        exec_cfg = execution if execution is not None else self.config.execution
+        if not isinstance(exec_cfg, ExecutionConfig):
+            raise TypeError(
+                f"execution must be an ExecutionConfig, got {type(exec_cfg)!r}"
+            )
+        if mode is not None and mode not in ENSEMBLE_MODES:
             raise ValueError(
                 f"mode must be one of {ENSEMBLE_MODES}, got {mode!r}"
             )
-        if mode == "batched" and workers is not None and workers > 1:
-            raise ValueError(
-                "mode='batched' runs in-process; process-pool fan-out "
-                "(workers > 1) applies only to mode='serial'"
-            )
+        exec_cfg = exec_cfg.with_overrides(mode=mode, workers=workers)
+        mode = (
+            exec_cfg.mode
+            if exec_cfg.mode is not None
+            else self.config.embedding.ensemble_mode
+        )
+        workers = exec_cfg.workers
         t_total = time.perf_counter()
         timings_before = dict(self.timings)
         if seed is not None:
@@ -293,8 +303,14 @@ class Pipeline:
         pairs: list[tuple[EmbeddingResult, CostLedger]] = []
         forest: FRTForest | None = None
         if mode == "batched":
-            pairs, forest = self._sample_batch(children)
-        elif workers is None or workers <= 1:
+            shards = _shard_bounds(k, workers, exec_cfg.shard_size)
+            if len(shards) > 1:
+                pairs, forest = self._sample_batch_sharded(
+                    children, workers, shards
+                )
+            else:
+                pairs, forest = self._sample_batch(children)
+        elif workers <= 1:
             for child in children:
                 ledger = CostLedger()
                 emb = self.sample(rng=child, ledger=ledger)
@@ -338,14 +354,38 @@ class Pipeline:
             ledger=merged,
             ledgers=ledgers,
             timings=timings,
-            meta=self._provenance(k=k, seed=seed, workers=workers, mode=mode),
+            meta=self._provenance(
+                k=k,
+                seed=seed,
+                workers=workers,
+                mode=mode,
+                execution=exec_cfg.to_dict(),
+            ),
             forest=forest,
         )
 
-    def _sample_batch(
+    def _resolve_batch_backend(self):
+        """The batched engine inputs: ``(oracle, backend)`` (one is None).
+
+        Shared by the in-process and sharded batched paths so both fail
+        fast — in the parent process — on a backend without a batched
+        LE-list driver.
+        """
+        if self.config.embedding.method == "oracle":
+            return self.oracle(), None  # cached; built by the caller already
+        backend = get_backend(self.config.embedding.backend)
+        if backend.le_lists_batch is None:
+            raise ValueError(
+                f"backend {backend.name!r} has no batched LE-list driver; "
+                "use mode='serial' or a batch-capable backend "
+                "(e.g. 'dense', 'dense-batched')"
+            )
+        return None, backend
+
+    def _sample_batch_core(
         self, children: list[np.random.Generator]
-    ) -> tuple[list[tuple[EmbeddingResult, CostLedger]], FRTForest]:
-        """One fused multi-sample LE-list + tree pass for the whole ensemble.
+    ) -> "_BatchCore":
+        """The fused engine pass: draws → batched LE lists → forest.
 
         Draws each sample's ``(rank, beta)`` from its own child generator
         (the same per-child order as the serial loop, so the randomness is
@@ -353,21 +393,14 @@ class Pipeline:
         batched engine once, and constructs all ``k`` trees in one
         vectorized :func:`~repro.frt.forest.build_frt_forest` pass — the
         per-sample :class:`~repro.frt.tree.FRTTree` views are bit-identical
-        to serial ``build_frt_tree`` calls.
+        to serial ``build_frt_tree`` calls.  Returns the raw stacked
+        arrays (picklable — this is the payload the sharded path ships
+        back from its workers); ``elapsed`` excludes artifact/backend
+        resolution, matching the serial path's timing convention.
         """
         k = len(children)
         method = self.config.embedding.method
-        if method == "oracle":
-            oracle = self.oracle()  # cached; built by the caller already
-            backend = None
-        else:
-            backend = get_backend(self.config.embedding.backend)
-            if backend.le_lists_batch is None:
-                raise ValueError(
-                    f"backend {backend.name!r} has no batched LE-list driver; "
-                    "use mode='serial' or a batch-capable backend "
-                    "(e.g. 'dense', 'dense-batched')"
-                )
+        oracle, backend = self._resolve_batch_backend()
         t0 = time.perf_counter()
         draws = [_draw_randomness(self.G.n, g) for g in children]
         ranks = np.stack([r for r, _ in draws])
@@ -388,22 +421,98 @@ class Pipeline:
         wmin, _ = self.G.weight_bounds()
         betas = np.array([b for _, b in draws])
         forest = build_frt_forest(lists, ranks, betas, wmin)
+        return _BatchCore(
+            lists=lists,
+            iterations=np.asarray(iters, dtype=np.int64),
+            ledgers=ledgers,
+            ranks=ranks,
+            betas=betas,
+            extra_meta=extra_meta,
+            forest=forest,
+            elapsed=time.perf_counter() - t0,
+        )
+
+    def _pairs_from_core(
+        self, core: "_BatchCore"
+    ) -> list[tuple[EmbeddingResult, CostLedger]]:
+        """Per-sample ``(embedding, ledger)`` views of one batched core."""
+        method = self.config.embedding.method
         pairs: list[tuple[EmbeddingResult, CostLedger]] = []
-        for s, ((r, b), ledger) in enumerate(zip(draws, ledgers)):
+        for s, ledger in enumerate(core.ledgers):
             emb = EmbeddingResult(
-                tree=forest.tree(s),
-                rank=r,
-                beta=b,
-                le_lists=lists.sample_states(s),
-                iterations=int(iters[s]),
-                meta={"pipeline": method, **extra_meta},
+                tree=core.forest.tree(s),
+                rank=core.ranks[s],
+                beta=float(core.betas[s]),
+                le_lists=core.lists.sample_states(s),
+                iterations=int(core.iterations[s]),
+                meta={"pipeline": method, **core.extra_meta},
             )
             pairs.append((emb, ledger))
-        self.stats["samples"] += k
+        return pairs
+
+    def _sample_batch(
+        self, children: list[np.random.Generator]
+    ) -> tuple[list[tuple[EmbeddingResult, CostLedger]], FRTForest]:
+        """One fused multi-sample pass for the whole ensemble, in-process."""
+        core = self._sample_batch_core(children)
+        t0 = time.perf_counter()
+        pairs = self._pairs_from_core(core)
+        self.stats["samples"] += len(children)
+        self.timings["samples"] = self.timings.get("samples", 0.0) + (
+            core.elapsed + time.perf_counter() - t0
+        )
+        return pairs, core.forest
+
+    def _sample_batch_sharded(
+        self,
+        children: list[np.random.Generator],
+        workers: int,
+        shards: list[tuple[int, int]],
+    ) -> tuple[list[tuple[EmbeddingResult, CostLedger]], FRTForest]:
+        """The batched pass, sharded over a process pool on the sample axis.
+
+        Each worker runs :meth:`_sample_batch_core` on a contiguous slice
+        of the (already spawned) child generators, so shard boundaries
+        cannot change any sample's RNG stream; the per-shard stacked
+        results are concatenated back into the exact single-process layout
+        (:meth:`BatchedFlatStates.concat` re-stacks the CSR arrays,
+        :meth:`FRTForest.concat` re-pads ragged per-shard depths to the
+        global ``k_max`` and rebases node offsets) — bit-identical to the
+        in-process batched run, pinned by ``tests/test_api_pipeline.py``.
+        """
+        # Fail fast in the parent on a batch-incapable backend, and ship
+        # the resolved backend by value: under spawn/forkserver start
+        # methods the workers re-import the registry fresh, which only
+        # holds the built-ins.
+        _, backend = self._resolve_batch_backend()
+        t0 = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(shards)),
+            initializer=_init_ensemble_worker,
+            initargs=(self.G, self.config, self._hopset, self._oracle, backend),
+        ) as pool:
+            cores = list(
+                pool.map(
+                    _ensemble_shard_worker,
+                    [children[lo:hi] for lo, hi in shards],
+                )
+            )
+        core = _BatchCore(
+            lists=BatchedFlatStates.concat([c.lists for c in cores]),
+            iterations=np.concatenate([c.iterations for c in cores]),
+            ledgers=[led for c in cores for led in c.ledgers],
+            ranks=np.concatenate([c.ranks for c in cores]),
+            betas=np.concatenate([c.betas for c in cores]),
+            extra_meta=cores[0].extra_meta,
+            forest=FRTForest.concat([c.forest for c in cores]),
+            elapsed=0.0,  # the pool wall-time below covers the whole pass
+        )
+        pairs = self._pairs_from_core(core)
+        self.stats["samples"] += len(children)
         self.timings["samples"] = self.timings.get("samples", 0.0) + (
             time.perf_counter() - t0
         )
-        return pairs, forest
+        return pairs, core.forest
 
     # -- problem solving ------------------------------------------------------
 
@@ -542,6 +651,7 @@ class Pipeline:
         *,
         seed: int | None = None,
         workers: int | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> dict:
         """Offline build step: sample a ``k``-ensemble and persist it.
 
@@ -549,10 +659,14 @@ class Pipeline:
         (``repro.serve.load_server`` or :meth:`from_artifacts`): samples a
         batched ensemble (``mode="batched"`` — the stacked forest *is* the
         storage format), stamps the provenance fingerprint, and writes a
-        ``"result"`` artifact via :func:`repro.io.save_result`.  Returns
-        the written artifact meta.
+        ``"result"`` artifact via :func:`repro.io.save_result`.
+        ``workers > 1`` (or an ``execution`` config) shards the build
+        across a process pool — the persisted arrays are bit-identical
+        either way.  Returns the written artifact meta.
         """
-        result = self.sample_ensemble(k, seed=seed, workers=workers, mode="batched")
+        result = self.sample_ensemble(
+            k, seed=seed, workers=workers, mode="batched", execution=execution
+        )
         return result.save(path)
 
     @staticmethod
@@ -583,11 +697,14 @@ class Pipeline:
 
         # The stable content identity: configs + seeds only.  Run-specific
         # noise (stats, timings) and execution knobs that provably do not
-        # change the result (mode, workers) are excluded, so equal-content
-        # runs share cache keys and artifact filenames.
+        # change the result (the whole ExecutionConfig plus the legacy
+        # mode/workers kwargs) are excluded, so equal-content runs share
+        # cache keys and artifact filenames.
+        content_config = self.config.to_dict()
+        content_config.pop("execution", None)
         fingerprint = content_fingerprint(
             {
-                "config": self.config.to_dict(),
+                "config": content_config,
                 "n": self.G.n,
                 "m": self.G.m,
                 "method": self.config.embedding.method,
@@ -628,6 +745,43 @@ class Pipeline:
         )
 
 
+def _shard_bounds(
+    k: int, workers: int, shard_size: int | None
+) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` sample slices for the sharded batched path.
+
+    ``workers <= 1`` is a single shard (run in-process — a pool of one
+    would only add overhead for bit-identical results).  Otherwise shards
+    hold ``shard_size`` samples each (default: ``ceil(k / workers)``, one
+    shard per worker), the last one whatever remains; ``workers > k``
+    degenerates to ``k`` singleton shards.
+    """
+    if workers <= 1:
+        return [(0, k)]
+    size = shard_size if shard_size is not None else -(-k // workers)
+    return [(lo, min(lo + size, k)) for lo in range(0, k, size)]
+
+
+@dataclass
+class _BatchCore:
+    """Raw stacked outputs of one batched-engine pass (one shard's payload).
+
+    Everything here is picklable — this is exactly what a sharded worker
+    ships back to the parent, and what the parent concatenates
+    (sample-axis order preserved) before the per-sample
+    :class:`~repro.frt.embedding.EmbeddingResult` views are assembled.
+    """
+
+    lists: BatchedFlatStates
+    iterations: np.ndarray  # (k,) int64
+    ledgers: list[CostLedger]
+    ranks: np.ndarray  # (k, n) int64
+    betas: np.ndarray  # (k,) float64
+    extra_meta: dict
+    forest: FRTForest
+    elapsed: float
+
+
 _WORKER_PIPELINE: Pipeline | None = None
 
 
@@ -650,3 +804,14 @@ def _ensemble_worker(child_rng) -> tuple[EmbeddingResult, CostLedger]:
     ledger = CostLedger()
     emb = _WORKER_PIPELINE.sample(rng=child_rng, ledger=ledger)
     return emb, ledger
+
+
+def _ensemble_shard_worker(children: list[np.random.Generator]) -> _BatchCore:
+    """Process-pool body: one batched-engine pass over a shard of samples.
+
+    The shard's child generators were spawned by the parent before the
+    fan-out, so the draws here are bit-identical to the in-process pass
+    over the same slice regardless of how ``k`` was sharded.
+    """
+    assert _WORKER_PIPELINE is not None, "pool initializer did not run"
+    return _WORKER_PIPELINE._sample_batch_core(children)

@@ -300,6 +300,38 @@ class BatchedFlatStates:
             np.concatenate([st.dists for st in states]),
         )
 
+    @classmethod
+    def concat(
+        cls,
+        batches: Sequence["BatchedFlatStates"],  # shape: (b,) object frozen
+    ) -> "BatchedFlatStates":  # shape: -> object owned
+        """Concatenate batches along the *sample* axis, zero re-encoding.
+
+        The inverse of sharding: ``concat([B.take(range(0, j)),
+        B.take(range(j, k))])`` equals ``B`` bit for bit, for any split
+        point — entries are already stored sample-major, so the payload
+        arrays concatenate verbatim and only the offsets are rebased by
+        each predecessor's running entry total.  All batches must share
+        ``n``; this is what the sharded ensemble path uses to re-assemble
+        per-worker shard results into the single-process layout.
+        """
+        if not batches:
+            raise ValueError("need at least one batch")
+        n = batches[0].n
+        if any(b.n != n for b in batches):
+            raise ValueError("all batches must share the same node count")
+        totals = np.cumsum([0] + [b.total for b in batches])
+        offsets = np.concatenate(
+            [[0]] + [b.offsets[1:] + base for b, base in zip(batches, totals)]
+        )
+        return cls(
+            sum(b.k for b in batches),
+            n,
+            offsets.astype(np.int64),
+            np.concatenate([b.ids for b in batches]),
+            np.concatenate([b.dists for b in batches]),
+        )
+
     # -- accessors ----------------------------------------------------------
 
     @property

@@ -8,6 +8,7 @@ from repro.api import (
     EMBEDDING_METHODS,
     HOPSET_KINDS,
     EmbeddingConfig,
+    ExecutionConfig,
     HopsetConfig,
     OracleConfig,
     PipelineConfig,
@@ -142,3 +143,74 @@ class TestEnsembleMode:
     def test_round_trips(self):
         cfg = EmbeddingConfig(method="direct", ensemble_mode="batched")
         assert EmbeddingConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestExecutionConfig:
+    def test_defaults(self):
+        cfg = ExecutionConfig()
+        assert cfg.mode is None  # inherit EmbeddingConfig.ensemble_mode
+        assert cfg.workers == 1
+        assert cfg.shard_size is None
+
+    def test_mode_checked(self):
+        with pytest.raises(ValueError, match="execution mode"):
+            ExecutionConfig(mode="parallel")
+        ExecutionConfig(mode="serial")
+        ExecutionConfig(mode="batched")
+
+    def test_workers_checked(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionConfig(workers=-2)
+        with pytest.raises(TypeError, match="workers"):
+            ExecutionConfig(workers=2.0)
+        with pytest.raises(TypeError, match="workers"):
+            ExecutionConfig(workers=True)  # bools are not worker counts
+
+    def test_shard_size_checked(self):
+        with pytest.raises(ValueError, match="shard_size"):
+            ExecutionConfig(shard_size=0)
+        with pytest.raises(ValueError, match="shard_size"):
+            ExecutionConfig(shard_size="big")
+        assert ExecutionConfig(shard_size=3).shard_size == 3
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExecutionConfig().workers = 2
+
+    def test_round_trip(self):
+        cfg = ExecutionConfig(mode="batched", workers=4, shard_size=2)
+        d = cfg.to_dict()
+        assert d == {"mode": "batched", "workers": 4, "shard_size": 2}
+        assert ExecutionConfig.from_dict(d) == cfg
+
+    def test_with_overrides(self):
+        cfg = ExecutionConfig(mode="batched", workers=4, shard_size=2)
+        assert cfg.with_overrides() is cfg  # no-op keeps the instance
+        assert cfg.with_overrides(mode="serial").mode == "serial"
+        assert cfg.with_overrides(workers=8).workers == 8
+        # shard_size always survives a legacy-kwarg override
+        assert cfg.with_overrides(mode="serial", workers=8).shard_size == 2
+        # legacy workers <= 0 historically meant "in-process"
+        assert cfg.with_overrides(workers=0).workers == 1
+        assert cfg.with_overrides(workers=-3).workers == 1
+
+    def test_pipeline_nesting(self):
+        cfg = PipelineConfig(execution=ExecutionConfig(workers=2))
+        assert cfg.execution.workers == 2
+        assert PipelineConfig().execution == ExecutionConfig()
+        with pytest.raises(TypeError):
+            PipelineConfig(execution={"workers": 2})
+
+    def test_pipeline_round_trip_with_execution(self):
+        cfg = PipelineConfig(
+            execution=ExecutionConfig(mode="batched", workers=3), seed=1
+        )
+        d = cfg.to_dict()
+        assert d["execution"] == {"mode": "batched", "workers": 3, "shard_size": None}
+        assert PipelineConfig.from_dict(d) == cfg
+
+    def test_pipeline_from_dict_validates_execution(self):
+        with pytest.raises(ValueError):
+            PipelineConfig.from_dict({"execution": {"workers": 0}})

@@ -5,6 +5,7 @@ import pytest
 
 from repro.api import (
     EmbeddingConfig,
+    ExecutionConfig,
     HopsetConfig,
     OracleConfig,
     Pipeline,
@@ -443,12 +444,14 @@ class TestBatchedEnsemble:
         with pytest.raises(ValueError, match="mode"):
             Pipeline(g, PipelineConfig(seed=0)).sample_ensemble(k=2, mode="turbo")
 
-    def test_workers_incompatible_with_batched(self):
+    def test_workers_no_longer_rejected_with_batched(self):
+        """Regression (sharded-ensemble PR): batched mode used to reject
+        workers > 1; it now shards the sample axis instead of raising."""
         g = gen.cycle(8, rng=12)
-        with pytest.raises(ValueError, match="workers"):
-            Pipeline(g, PipelineConfig(seed=0)).sample_ensemble(
-                k=2, mode="batched", workers=2
-            )
+        res = Pipeline(g, PipelineConfig(seed=0)).sample_ensemble(
+            k=2, mode="batched", workers=2
+        )
+        assert res.size == 2 and res.forest is not None
 
     def test_backend_without_batch_driver_rejected(self):
         g = gen.cycle(8, rng=12)
@@ -466,3 +469,213 @@ class TestBatchedEnsemble:
         after_batch = p1.sample()
         p2 = Pipeline(g, cfg, rng=0, hopset=p1.hopset(), oracle=p1.oracle())
         _assert_same_embedding(after_batch, p2.sample())
+
+
+FOREST_ARRAYS = (
+    "betas",
+    "depths",
+    "radii",
+    "edge_weights",
+    "cum_weights",
+    "level_ids",
+    "node_offsets",
+    "parent",
+    "node_level",
+    "node_leading",
+)
+
+
+def _assert_same_forest(a, b):
+    assert a.n == b.n and a.size == b.size
+    assert a.k_max == b.k_max and a.scale == b.scale
+    for name in FOREST_ARRAYS:
+        x, y = getattr(a, name), getattr(b, name)
+        assert x.dtype == y.dtype, name
+        assert np.array_equal(x, y), name
+
+
+def _assert_same_result(a, b):
+    for x, y in zip(a, b):
+        _assert_same_embedding(x, y)
+        assert np.array_equal(x.tree.level_ids, y.tree.level_ids)
+        assert np.array_equal(x.tree.parent, y.tree.parent)
+        assert np.array_equal(x.tree.node_leading, y.tree.node_leading)
+    assert [led.work for led in a.ledgers] == [led.work for led in b.ledgers]
+    assert [led.depth for led in a.ledgers] == [led.depth for led in b.ledgers]
+    _assert_same_forest(a.forest, b.forest)
+
+
+class TestShardedBatchedEnsemble:
+    """workers > 1 in batched mode shards the sample axis across a process
+    pool; the contract is *bit-identical* output vs the in-process batched
+    run — all stacked forest arrays, per-tree views, per-sample LE lists,
+    and ledgers — for every shard geometry."""
+
+    def _cfg(self, **kw):
+        return PipelineConfig(embedding=EmbeddingConfig(method="direct"), **kw)
+
+    def test_even_split_matches_in_process(self):
+        g = gen.random_graph(30, 70, rng=13)
+        one = Pipeline(g, self._cfg()).sample_ensemble(k=4, seed=7, mode="batched")
+        two = Pipeline(g, self._cfg()).sample_ensemble(
+            k=4, seed=7, mode="batched", workers=2
+        )
+        _assert_same_result(one, two)
+
+    def test_k_not_divisible_by_workers(self):
+        g = gen.random_graph(24, 60, rng=14)
+        one = Pipeline(g, self._cfg()).sample_ensemble(k=7, seed=8, mode="batched")
+        two = Pipeline(g, self._cfg()).sample_ensemble(
+            k=7, seed=8, mode="batched", workers=3
+        )
+        _assert_same_result(one, two)
+
+    def test_workers_exceed_k(self):
+        g = gen.cycle(16, rng=15)
+        one = Pipeline(g, self._cfg()).sample_ensemble(k=3, seed=9, mode="batched")
+        two = Pipeline(g, self._cfg()).sample_ensemble(
+            k=3, seed=9, mode="batched", workers=8
+        )
+        _assert_same_result(one, two)
+
+    def test_workers_one_is_in_process(self):
+        """workers=1 must not spin up a pool — and must equal the plain
+        batched run bit for bit (same code path)."""
+        g = gen.cycle(12, rng=16)
+        one = Pipeline(g, self._cfg()).sample_ensemble(k=3, seed=10, mode="batched")
+        two = Pipeline(g, self._cfg()).sample_ensemble(
+            k=3, seed=10, mode="batched", workers=1
+        )
+        _assert_same_result(one, two)
+
+    def test_explicit_shard_size(self):
+        """shard_size=1 degenerates to one sample per task; still identical."""
+        g = gen.random_graph(20, 50, rng=17)
+        one = Pipeline(g, self._cfg()).sample_ensemble(k=5, seed=11, mode="batched")
+        two = Pipeline(g, self._cfg()).sample_ensemble(
+            k=5,
+            seed=11,
+            execution=ExecutionConfig(mode="batched", workers=2, shard_size=1),
+        )
+        _assert_same_result(one, two)
+
+    def test_ragged_shard_depths(self):
+        """Shards whose local k_max differ re-pad to the global k_max.
+
+        A wide weight range spreads per-sample root distances, so with
+        singleton shards each worker's forest has its own depth; the
+        concat must still reproduce the single-process padding."""
+        g = gen.random_graph(24, 60, wmin=1.0, wmax=64.0, rng=18)
+        one = Pipeline(g, self._cfg()).sample_ensemble(k=6, seed=12, mode="batched")
+        two = Pipeline(g, self._cfg()).sample_ensemble(
+            k=6,
+            seed=12,
+            execution=ExecutionConfig(mode="batched", workers=3, shard_size=1),
+        )
+        assert len(set(one.forest.depths.tolist())) > 1  # genuinely ragged
+        _assert_same_result(one, two)
+
+    def test_oracle_method_shards_too(self):
+        g = gen.cycle(20, wmin=1, wmax=2, rng=19)
+        cfg = PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=4))
+        one = Pipeline(g, cfg).sample_ensemble(k=4, seed=13, mode="batched")
+        two = Pipeline(g, cfg).sample_ensemble(
+            k=4, seed=13, mode="batched", workers=2
+        )
+        _assert_same_result(one, two)
+
+    def test_single_vertex_graph(self):
+        g = Graph(1, np.empty((0, 2), dtype=np.int64), [])
+        one = Pipeline(g, self._cfg()).sample_ensemble(k=3, seed=14, mode="batched")
+        two = Pipeline(g, self._cfg()).sample_ensemble(
+            k=3, seed=14, mode="batched", workers=2
+        )
+        _assert_same_result(one, two)
+
+    def test_sharded_serial_mode_untouched(self):
+        """The legacy serial pool path still answers mode='serial'."""
+        g = gen.cycle(12, rng=7)
+        cfg = PipelineConfig(hopset=HopsetConfig(eps=0.25, d0=3))
+        serial = Pipeline(g, cfg).sample_ensemble(k=3, seed=3)
+        pooled = Pipeline(g, cfg).sample_ensemble(
+            k=3, seed=3, execution=ExecutionConfig(mode="serial", workers=2)
+        )
+        for a, b in zip(serial, pooled):
+            _assert_same_embedding(a, b)
+        assert pooled.forest is None
+
+    def test_stats_and_meta(self):
+        g = gen.cycle(12, rng=16)
+        pipe = Pipeline(g, self._cfg())
+        res = pipe.sample_ensemble(k=4, seed=15, mode="batched", workers=2)
+        assert pipe.stats["samples"] == 4
+        assert res.meta["mode"] == "batched" and res.meta["workers"] == 2
+        assert res.meta["execution"] == {
+            "mode": "batched",
+            "workers": 2,
+            "shard_size": None,
+        }
+        assert res.timings["samples"] <= res.timings["total"] + 1e-9
+
+    def test_fingerprint_excludes_execution(self):
+        """The provenance fingerprint is an execution-independent content
+        identity: serial, batched, and sharded runs of the same configs +
+        seeds all share it — and so does a config carrying a non-default
+        ExecutionConfig."""
+        g = gen.random_graph(20, 50, rng=18)
+        base = self._cfg(seed=0)
+        sharded_cfg = PipelineConfig(
+            embedding=EmbeddingConfig(method="direct"),
+            execution=ExecutionConfig(mode="batched", workers=2),
+            seed=0,
+        )
+        prints = {
+            Pipeline(g, base).sample_ensemble(k=2, seed=1, mode="serial").fingerprint,
+            Pipeline(g, base).sample_ensemble(k=2, seed=1, mode="batched").fingerprint,
+            Pipeline(g, base)
+            .sample_ensemble(k=2, seed=1, mode="batched", workers=2)
+            .fingerprint,
+            Pipeline(g, sharded_cfg).sample_ensemble(k=2, seed=1).fingerprint,
+        }
+        assert len(prints) == 1
+
+    def test_execution_config_from_pipeline_config(self):
+        """config.execution drives sample_ensemble when no kwargs given."""
+        g = gen.random_graph(20, 50, rng=19)
+        cfg = PipelineConfig(
+            embedding=EmbeddingConfig(method="direct"),
+            execution=ExecutionConfig(mode="batched", workers=2),
+        )
+        res = Pipeline(g, cfg).sample_ensemble(k=4, seed=16)
+        baseline = Pipeline(g, self._cfg()).sample_ensemble(
+            k=4, seed=16, mode="batched"
+        )
+        _assert_same_result(baseline, res)
+        assert res.meta["mode"] == "batched" and res.meta["workers"] == 2
+
+    def test_legacy_kwargs_override_execution_config(self):
+        """The deprecated loose kwargs win over the config — bit-identically
+        mapped onto ExecutionConfig fields."""
+        g = gen.cycle(12, rng=20)
+        cfg = PipelineConfig(
+            embedding=EmbeddingConfig(method="direct"),
+            execution=ExecutionConfig(mode="batched", workers=4),
+        )
+        res = Pipeline(g, cfg).sample_ensemble(k=2, seed=17, mode="serial", workers=0)
+        assert res.meta["mode"] == "serial" and res.meta["workers"] == 1
+        assert res.forest is None
+
+    def test_save_artifacts_with_workers(self, tmp_path):
+        """Regression: save_artifacts(..., workers=2) used to raise through
+        the batched-mode guard; it must now shard the offline build and
+        persist arrays bit-identical to the in-process build."""
+        g = gen.random_graph(24, 60, rng=21)
+        p1, p2 = tmp_path / "one.rpz", tmp_path / "two.rpz"
+        Pipeline(g, self._cfg(seed=0)).save_artifacts(p1, 4, seed=3)
+        meta = Pipeline(g, self._cfg(seed=0)).save_artifacts(p2, 4, seed=3, workers=2)
+        one = Pipeline.from_artifacts(p1)
+        two = Pipeline.from_artifacts(p2)
+        _assert_same_forest(one.forest, two.forest)
+        for a, b in zip(one, two):
+            _assert_same_embedding(a, b)
+        assert one.fingerprint == two.fingerprint == meta["fingerprint"]

@@ -106,6 +106,40 @@ class TestBatchedFlatStates:
                 [FlatStates.from_sources(3), FlatStates.from_sources(4)]
             )
 
+    def test_concat_inverts_sharding(self):
+        """concat(split shards) == original, bit for bit — the sharded
+        ensemble's re-assembly primitive."""
+        g = gen.cycle(9, rng=0)
+        parts = [run_dense(g, LEFilter(r))[0] for r in _ranks(5, g.n, 11)]
+        b = BatchedFlatStates.from_states(parts)
+        for bounds in ([(0, 2), (2, 5)], [(0, 1), (1, 3), (3, 5)], [(0, 5)]):
+            shards = [b.take(list(range(lo, hi))) for lo, hi in bounds]
+            merged = BatchedFlatStates.concat(shards)
+            assert merged.k == b.k and merged.n == b.n
+            assert merged.offsets.dtype == b.offsets.dtype
+            assert np.array_equal(merged.offsets, b.offsets)
+            assert np.array_equal(merged.ids, b.ids)
+            assert np.array_equal(merged.dists, b.dists)
+
+    def test_concat_stacks_distinct_batches(self):
+        g = gen.cycle(7, rng=2)
+        parts = [run_dense(g, LEFilter(r))[0] for r in _ranks(3, g.n, 12)]
+        merged = BatchedFlatStates.concat(
+            [BatchedFlatStates.from_states([p]) for p in parts]
+        )
+        assert merged.k == 3
+        for s, st in enumerate(parts):
+            assert merged.sample_states(s).equals(st)
+
+    def test_concat_rejects_empty_and_mixed_n(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BatchedFlatStates.concat([])
+        with pytest.raises(ValueError, match="same node count"):
+            BatchedFlatStates.concat(
+                [BatchedFlatStates.from_sources(1, 3),
+                 BatchedFlatStates.from_sources(1, 4)]
+            )
+
 
 class TestBatchedLEFilter:
     def test_validates_shape(self):

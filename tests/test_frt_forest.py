@@ -124,6 +124,111 @@ class TestForestParity:
         _assert_forest_matches_serial(g, lists, ranks, betas)
 
 
+class TestForestConcat:
+    """FRTForest.concat(shards) ≡ build_frt_forest(whole batch), bit for
+    bit — the primitive that makes sharded ensemble builds exact."""
+
+    FOREST_ARRAYS = (
+        "betas", "depths", "radii", "edge_weights", "cum_weights",
+        "level_ids", "node_offsets", "parent", "node_level", "node_leading",
+    )
+
+    @staticmethod
+    def _shard_forests(g, ranks, betas, bounds):
+        wmin, _ = g.weight_bounds()
+        out = []
+        for lo, hi in bounds:
+            lists, _ = compute_le_lists_batch(g, ranks[lo:hi])
+            out.append(build_frt_forest(lists, ranks[lo:hi], betas[lo:hi], wmin))
+        return out
+
+    def _assert_concat_matches_full(self, g, ranks, betas, bounds):
+        wmin, _ = g.weight_bounds()
+        lists, _ = compute_le_lists_batch(g, ranks)
+        full = build_frt_forest(lists, ranks, betas, wmin)
+        merged = FRTForest.concat(self._shard_forests(g, ranks, betas, bounds))
+        assert merged.n == full.n and merged.size == full.size
+        assert merged.k_max == full.k_max and merged.scale == full.scale
+        for name in self.FOREST_ARRAYS:
+            a, b = getattr(merged, name), getattr(full, name)
+            assert a.dtype == b.dtype, name
+            assert np.array_equal(a, b), name
+        for s in range(full.size):
+            _assert_tree_identical(merged.tree(s), full.tree(s))
+        return merged, full
+
+    def test_even_shards(self):
+        g = gen.random_graph(30, 80, rng=30)
+        ranks, betas = _draws(g.n, 6, seed=31)
+        self._assert_concat_matches_full(g, ranks, betas, [(0, 3), (3, 6)])
+
+    def test_uneven_and_singleton_shards(self):
+        g = gen.random_graph(24, 60, rng=32)
+        ranks, betas = _draws(g.n, 5, seed=33)
+        self._assert_concat_matches_full(
+            g, ranks, betas, [(0, 2), (2, 3), (3, 5)]
+        )
+
+    def test_single_shard_identity(self):
+        g = gen.cycle(20, rng=34)
+        ranks, betas = _draws(g.n, 3, seed=35)
+        self._assert_concat_matches_full(g, ranks, betas, [(0, 3)])
+
+    def test_ragged_shard_depths(self):
+        """Shards whose local k_max differ exercise the re-padding path:
+        extension columns must replicate each sample's root id."""
+        g = gen.random_graph(50, 140, rng=102)
+        ranks, _ = _draws(g.n, 6, seed=102)
+        betas = np.array([1.0, 1.99, 1.0, 1.99, 1.5, 1.01])
+        shards = self._shard_forests(g, ranks, betas, [(0, 2), (2, 4), (4, 6)])
+        assert len({f.k_max for f in shards}) > 1  # genuinely ragged
+        merged, full = self._assert_concat_matches_full(
+            g, ranks, betas, [(0, 2), (2, 4), (4, 6)]
+        )
+        assert merged.k_max == max(f.k_max for f in shards)
+        # The padded columns stay inert for LCA queries.
+        us = np.arange(g.n - 1)
+        assert np.array_equal(
+            merged.distances(us, us + 1), full.distances(us, us + 1)
+        )
+
+    def test_single_vertex_graph(self):
+        g = Graph.from_edge_list(1, [])
+        ranks = np.zeros((3, 1), dtype=np.int64)
+        betas = np.array([1.0, 1.5, 1.99])
+        self._assert_concat_matches_full(g, ranks, betas, [(0, 1), (1, 3)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FRTForest.concat([])
+
+    def test_rejects_mismatched_graphs(self):
+        g1, g2 = gen.cycle(10, rng=36), gen.cycle(12, rng=37)
+        r1, b1 = _draws(g1.n, 2, seed=38)
+        r2, b2 = _draws(g2.n, 2, seed=39)
+        (f1,) = self._shard_forests(g1, r1, b1, [(0, 2)])
+        (f2,) = self._shard_forests(g2, r2, b2, [(0, 2)])
+        with pytest.raises(ValueError, match="share n"):
+            FRTForest.concat([f1, f2])
+        # Same n but different wmin → different scale: also rejected.
+        g3 = gen.cycle(10, wmin=2.0, wmax=2.0, rng=40)
+        r3, b3 = _draws(g3.n, 2, seed=41)
+        (f3,) = self._shard_forests(g3, r3, b3, [(0, 2)])
+        with pytest.raises(ValueError, match="scale"):
+            FRTForest.concat([f1, f3])
+
+    def test_freeze_mode_freezes_concat_output(self, monkeypatch):
+        g = gen.cycle(12, rng=42)
+        ranks, betas = _draws(g.n, 4, seed=43)
+        shards = self._shard_forests(g, ranks, betas, [(0, 2), (2, 4)])
+        monkeypatch.setenv("REPRO_FREEZE", "1")
+        merged = FRTForest.concat(shards)
+        for name in self.FOREST_ARRAYS:
+            assert not getattr(merged, name).flags.writeable, name
+        with pytest.raises(ValueError):
+            merged.radii[0, 0] = -1.0
+
+
 class TestForestStructure:
     def setup_method(self):
         self.g = gen.random_graph(30, 80, rng=20)
